@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the simulation engine: event calendar
+//! throughput, ECMP hashing, FatTree construction and a single end-to-end
+//! transfer. These guard the simulator's performance, which bounds how large
+//! a paper-scale experiment can be run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmptcp::prelude::*;
+use netsim::{
+    ecmp, event::{Event, EventQueue}, Addr as NAddr, FlowId as NFlowId, Packet,
+};
+use topology::fattree;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(
+                    netsim::SimTime::from_nanos((i * 7919) % 1_000_000),
+                    Event::FlowStart {
+                        node: netsim::NodeId(0),
+                        flow: NFlowId(i),
+                    },
+                );
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn bench_ecmp_hash(c: &mut Criterion) {
+    let pkt = Packet::data(
+        NAddr(3),
+        NAddr(97),
+        51_234,
+        5_001,
+        NFlowId(42),
+        0,
+        1_400_000,
+        1_400_000,
+        1_400,
+        netsim::SimTime::from_millis(10),
+    );
+    c.bench_function("ecmp_select_16way", |b| {
+        b.iter(|| black_box(ecmp::select(black_box(&pkt), 0xDEADBEEF, 16)))
+    });
+}
+
+fn bench_fattree_build(c: &mut Criterion) {
+    c.bench_function("fattree_build_k8_4to1_512_hosts", |b| {
+        b.iter(|| black_box(fattree::build(FatTreeConfig::paper()).host_count()))
+    });
+}
+
+fn bench_single_flow(c: &mut Criterion) {
+    let mk = |protocol| ExperimentConfig {
+        topology: TopologySpec::Parallel(ParallelPathConfig::default()),
+        workload: WorkloadSpec::Custom(vec![FlowSpec {
+            id: 0,
+            src: Addr(0),
+            dst: Addr(1),
+            size: Some(70_000),
+            start: SimTime::from_millis(1),
+            class: FlowClass::Short,
+            deadline: None,
+        }]),
+        protocol,
+        ..ExperimentConfig::default()
+    };
+    c.bench_function("end_to_end_70KB_tcp", |b| {
+        b.iter(|| black_box(mmptcp::run(mk(Protocol::Tcp)).short_fct_summary().mean))
+    });
+    c.bench_function("end_to_end_70KB_mmptcp", |b| {
+        b.iter(|| {
+            black_box(
+                mmptcp::run(mk(Protocol::mmptcp_default()))
+                    .short_fct_summary()
+                    .mean,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_event_queue, bench_ecmp_hash, bench_fattree_build, bench_single_flow
+}
+criterion_main!(engine);

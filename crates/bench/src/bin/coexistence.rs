@@ -1,0 +1,55 @@
+//! Co-existence experiment (paper §3: "In-depth investigation of how MMPTCP
+//! shares network resources with TCP and MPTCP is part of our current work.
+//! Early results suggest that it could co-exist in harmony with them.").
+//!
+//! Short flows always use MMPTCP; long background flows use TCP, MPTCP or
+//! MMPTCP. If MMPTCP co-exists gracefully, the short-flow completion times
+//! and the long-flow goodput should be broadly similar across the three
+//! combinations.
+//!
+//! Usage: `cargo run --release -p bench --bin coexistence [--full] [--flows N]`
+
+use bench::{run_sweep, summary_headers, summary_row, HarnessOptions};
+use metrics::Table;
+use mmptcp::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let combos: Vec<(&str, Protocol, Option<Protocol>)> = vec![
+        ("short mmptcp / long mmptcp", Protocol::mmptcp_default(), None),
+        (
+            "short mmptcp / long mptcp-8",
+            Protocol::mmptcp_default(),
+            Some(Protocol::mptcp8()),
+        ),
+        (
+            "short mmptcp / long tcp",
+            Protocol::mmptcp_default(),
+            Some(Protocol::Tcp),
+        ),
+        (
+            "short mptcp-8 / long tcp",
+            Protocol::mptcp8(),
+            Some(Protocol::Tcp),
+        ),
+    ];
+
+    let configs = combos
+        .into_iter()
+        .map(|(label, short, long)| {
+            let mut cfg = opts.figure1_config(short);
+            cfg.long_protocol = long;
+            (label.to_string(), cfg)
+        })
+        .collect();
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "Co-existence: MMPTCP short flows sharing the fabric with TCP/MPTCP long flows",
+        &summary_headers(),
+    );
+    for (label, r) in &results {
+        table.add_row(summary_row(label, r));
+    }
+    println!("{}", table.render());
+}

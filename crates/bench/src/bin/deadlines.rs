@@ -1,0 +1,104 @@
+//! Deadline-miss extension experiment.
+//!
+//! The paper's introduction motivates MMPTCP with deadline-bound short flows:
+//! "short ones commonly come with strict deadlines … even a single RTO may
+//! result in flow deadline violation", and contrasts MMPTCP with
+//! deadline-aware single-path transports (DCTCP, D²TCP, D³) that need
+//! network support or application-layer deadline information. This harness
+//! assigns every short flow a deadline (slack × ideal transfer time, with a
+//! floor) and reports the miss rate per protocol — including D²TCP, which uses
+//! the deadline information, and MMPTCP, which does not.
+//!
+//! Usage:
+//!   `cargo run --release -p bench --bin deadlines [--full] [--flows N] [--seed S]`
+
+use bench::{run_sweep, HarnessOptions};
+use metrics::{f2, pct, Table};
+use mmptcp::prelude::*;
+
+/// Deadline models to sweep: tight, moderate and loose.
+fn deadline_models() -> Vec<(&'static str, DeadlineModel)> {
+    vec![
+        (
+            "tight (5x, 10 ms floor)",
+            DeadlineModel::Slack {
+                slack: 5.0,
+                reference_gbps: 1.0,
+                floor: SimDuration::from_millis(10),
+            },
+        ),
+        (
+            "moderate (20x, 25 ms floor)",
+            DeadlineModel::Slack {
+                slack: 20.0,
+                reference_gbps: 1.0,
+                floor: SimDuration::from_millis(25),
+            },
+        ),
+        (
+            "loose (fixed 100 ms)",
+            DeadlineModel::Fixed(SimDuration::from_millis(100)),
+        ),
+    ]
+}
+
+fn config_for(
+    opts: &HarnessOptions,
+    protocol: Protocol,
+    deadlines: DeadlineModel,
+) -> ExperimentConfig {
+    let mut cfg = opts.figure1_config(protocol);
+    if let WorkloadSpec::Paper(p) = &mut cfg.workload {
+        p.deadlines = deadlines;
+    }
+    cfg
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let protocols = [
+        ("tcp", Protocol::Tcp),
+        ("dctcp", Protocol::Dctcp),
+        ("d2tcp", Protocol::D2tcp),
+        ("mptcp-8", Protocol::mptcp8()),
+        ("mmptcp-8", Protocol::mmptcp_default()),
+    ];
+
+    let mut configs = Vec::new();
+    for (dname, model) in deadline_models() {
+        for &(pname, p) in &protocols {
+            configs.push((format!("{pname} | {dname}"), config_for(&opts, p, model)));
+        }
+    }
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "Deadline misses of short flows (lower is better); MMPTCP needs no deadline information",
+        &[
+            "protocol",
+            "deadline model",
+            "flows",
+            "missed",
+            "miss rate",
+            "mean FCT (ms)",
+            "p99 FCT (ms)",
+            "flows w/ RTO",
+        ],
+    );
+    for (label, r) in &results {
+        let (pname, dname) = label.split_once(" | ").unwrap();
+        let (missed, total) = r.deadline_misses();
+        let s = r.short_fct_summary();
+        table.add_row(vec![
+            pname.to_string(),
+            dname.to_string(),
+            total.to_string(),
+            missed.to_string(),
+            pct(r.deadline_miss_rate()),
+            f2(s.mean),
+            f2(s.p99),
+            r.short_flows_with_rto().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

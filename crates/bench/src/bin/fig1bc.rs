@@ -1,0 +1,90 @@
+//! Figures 1(b) and 1(c): per-flow completion-time scatter for MPTCP with 8
+//! subflows (b) versus MMPTCP (packet scatter + 8 subflows) (c).
+//!
+//! The paper's claim: under MPTCP many short flows suffer one or more RTOs and
+//! land in bands at whole seconds; under MMPTCP the tail collapses and the
+//! majority of flows finish within 100 ms.
+//!
+//! Usage:
+//!   `cargo run --release -p bench --bin fig1bc [--protocol mptcp-8|mmptcp-8] [--csv] [--full]`
+//! With no `--protocol`, both protocols are run and compared.
+
+use bench::{print_fct_series, run_sweep, summary_headers, summary_row, HarnessOptions};
+use metrics::{f2, pct, Table};
+use mmptcp::prelude::*;
+
+fn band_fractions(fcts: &[f64]) -> (f64, f64, f64) {
+    if fcts.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let n = fcts.len() as f64;
+    let under_100ms = fcts.iter().filter(|f| **f <= 100.0).count() as f64 / n;
+    let over_200ms = fcts.iter().filter(|f| **f > 200.0).count() as f64 / n;
+    let over_1s = fcts.iter().filter(|f| **f > 1_000.0).count() as f64 / n;
+    (under_100ms, over_200ms, over_1s)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let protocols: Vec<(String, Protocol)> = match opts.protocol.as_deref() {
+        Some(name) => {
+            let p = HarnessOptions::resolve_protocol(name)
+                .unwrap_or_else(|| panic!("unknown protocol {name}"));
+            vec![(name.to_string(), p)]
+        }
+        None => vec![
+            ("mptcp-8 (Figure 1b)".to_string(), Protocol::mptcp8()),
+            ("mmptcp-8 (Figure 1c)".to_string(), Protocol::mmptcp_default()),
+        ],
+    };
+
+    let configs = protocols
+        .iter()
+        .map(|(label, p)| (label.clone(), opts.figure1_config(*p)))
+        .collect();
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "Figures 1(b)/1(c): per-flow completion time distribution",
+        &[
+            "run",
+            "flows",
+            "mean (ms)",
+            "std (ms)",
+            "median (ms)",
+            "<=100ms",
+            ">200ms",
+            ">1s",
+            "flows w/ RTO",
+        ],
+    );
+    for (label, r) in &results {
+        let s = r.short_fct_summary();
+        let fcts = r.short_fcts_ms();
+        let (u100, o200, o1s) = band_fractions(&fcts);
+        table.add_row(vec![
+            label.clone(),
+            s.count.to_string(),
+            f2(s.mean),
+            f2(s.std_dev),
+            f2(s.median),
+            pct(u100),
+            pct(o200),
+            pct(o1s),
+            r.short_flows_with_rto().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut cmp = Table::new("Full comparison", &summary_headers());
+    for (label, r) in &results {
+        cmp.add_row(summary_row(label, r));
+    }
+    println!("{}", cmp.render());
+
+    if opts.csv {
+        for (label, r) in &results {
+            print_fct_series(label, r);
+        }
+    }
+}

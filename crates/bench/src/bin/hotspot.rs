@@ -1,0 +1,49 @@
+//! Hotspot experiment (paper §3 roadmap: "effect of hotspots").
+//!
+//! A fraction of short flows is redirected towards a small set of hot
+//! destination hosts, concentrating load on a few access links. MMPTCP's
+//! packet-scatter phase cannot help with a saturated destination access link,
+//! but it should still protect flows whose paths only share the fabric with
+//! the hotspot traffic.
+//!
+//! Usage: `cargo run --release -p bench --bin hotspot [--full] [--flows N]`
+
+use bench::{run_sweep, summary_headers, summary_row, HarnessOptions};
+use metrics::Table;
+use mmptcp::prelude::*;
+
+fn config_for(opts: &HarnessOptions, protocol: Protocol, hot: bool) -> ExperimentConfig {
+    let mut cfg = opts.figure1_config(protocol);
+    if hot {
+        if let WorkloadSpec::Paper(p) = &mut cfg.workload {
+            p.matrix = TrafficMatrix::Hotspot {
+                hot_hosts: 4,
+                hot_fraction_millis: 250,
+            };
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let mut configs = Vec::new();
+    for (pname, p) in [
+        ("mptcp-8", Protocol::mptcp8()),
+        ("mmptcp-8", Protocol::mmptcp_default()),
+        ("tcp", Protocol::Tcp),
+    ] {
+        configs.push((format!("{pname} / permutation"), config_for(&opts, p, false)));
+        configs.push((format!("{pname} / hotspot"), config_for(&opts, p, true)));
+    }
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "Hotspot traffic matrix (25% of short flows target 4 hot hosts) vs permutation",
+        &summary_headers(),
+    );
+    for (label, r) in &results {
+        table.add_row(summary_row(label, r));
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,71 @@
+//! Network-load sweep (paper §3 roadmap: "effect of … network loads").
+//!
+//! Varies the short-flow arrival rate (Poisson mean inter-arrival time) and
+//! compares TCP, MPTCP-8 and MMPTCP-8 short-flow completion times at each
+//! load level.
+//!
+//! Usage: `cargo run --release -p bench --bin load_sweep [--full] [--flows N]`
+
+use bench::{run_sweep, HarnessOptions};
+use metrics::{f2, Table};
+use mmptcp::prelude::*;
+
+fn config_for(
+    opts: &HarnessOptions,
+    protocol: Protocol,
+    mean_interarrival_ms: u64,
+) -> ExperimentConfig {
+    let mut cfg = opts.figure1_config(protocol);
+    if let WorkloadSpec::Paper(p) = &mut cfg.workload {
+        p.arrivals = ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_millis(mean_interarrival_ms),
+        };
+    }
+    cfg
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let protocols = [
+        ("tcp", Protocol::Tcp),
+        ("mptcp-8", Protocol::mptcp8()),
+        ("mmptcp-8", Protocol::mmptcp_default()),
+    ];
+    // Heavier load = shorter inter-arrival time.
+    let loads_ms = [300u64, 150, 75, 40];
+
+    let mut configs = Vec::new();
+    for &(pname, p) in &protocols {
+        for &ms in &loads_ms {
+            configs.push((format!("{pname} @ {ms} ms"), config_for(&opts, p, ms)));
+        }
+    }
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "Short-flow FCT vs offered load (mean inter-arrival per host)",
+        &[
+            "protocol",
+            "inter-arrival (ms)",
+            "mean FCT (ms)",
+            "std (ms)",
+            "p99 (ms)",
+            "flows w/ RTO",
+            "core loss",
+        ],
+    );
+    for (label, r) in &results {
+        let (pname, ms) = label.split_once(" @ ").unwrap();
+        let s = r.summary();
+        table.add_row(vec![
+            pname.to_string(),
+            ms.trim_end_matches(" ms").to_string(),
+            f2(s.short_fct_mean_ms),
+            f2(s.short_fct_std_ms),
+            f2(s.short_fct_p99_ms),
+            s.short_flows_with_rto.to_string(),
+            metrics::pct(s.core_loss),
+        ]);
+    }
+    println!("{}", table.render());
+}

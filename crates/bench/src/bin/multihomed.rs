@@ -1,0 +1,46 @@
+//! Multi-homed topology experiment (paper §3 roadmap: "we also plan to design
+//! multi-homed network topologies as these are well-suited to MMPTCP — the
+//! more parallel paths at the access layer, the higher the burst tolerance").
+//!
+//! Runs the Figure-1 workload on the standard FatTree and on a dual-homed
+//! FatTree in which every host attaches to two edge switches, comparing
+//! MMPTCP's short-flow completion times and RTO counts.
+//!
+//! Usage: `cargo run --release -p bench --bin multihomed [--flows N]`
+
+use bench::{run_sweep, summary_headers, summary_row, HarnessOptions};
+use metrics::Table;
+use mmptcp::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ft = if opts.full {
+        FatTreeConfig::paper()
+    } else {
+        FatTreeConfig::benchmark()
+    };
+
+    let mut configs = Vec::new();
+    for (pname, p) in [
+        ("mmptcp-8", Protocol::mmptcp_default()),
+        ("mptcp-8", Protocol::mptcp8()),
+    ] {
+        let mut single = opts.figure1_config(p);
+        single.topology = TopologySpec::FatTree(ft);
+        configs.push((format!("{pname} / single-homed"), single));
+
+        let mut dual = opts.figure1_config(p);
+        dual.topology = TopologySpec::MultiHomedFatTree(ft);
+        configs.push((format!("{pname} / dual-homed"), dual));
+    }
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "Single-homed vs dual-homed FatTree (access-layer path diversity)",
+        &summary_headers(),
+    );
+    for (label, r) in &results {
+        table.add_row(summary_row(label, r));
+    }
+    println!("{}", table.render());
+}

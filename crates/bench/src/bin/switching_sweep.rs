@@ -1,0 +1,73 @@
+//! Phase-switching strategy sweep (paper §2 "Phase Switching").
+//!
+//! Compares the two strategies the paper proposes — switching after a fixed
+//! data volume and switching at the first congestion event — across a range
+//! of data-volume thresholds, reporting both the short-flow completion times
+//! (which should not regress as long as the threshold exceeds the short-flow
+//! size) and the long-flow goodput (which the paper argues is unaffected
+//! because the MPTCP subflows ramp up within a few RTTs after switching).
+//!
+//! Usage: `cargo run --release -p bench --bin switching_sweep [--full] [--flows N]`
+
+use bench::{run_sweep, HarnessOptions};
+use metrics::{f2, Table};
+use mmptcp::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+
+    let mut configs: Vec<(String, ExperimentConfig)> = Vec::new();
+    for threshold in [70_000u64, 140_000, 210_000, 500_000, 1_000_000] {
+        let protocol = Protocol::Mmptcp {
+            subflows: 8,
+            switch: SwitchStrategy::DataVolume(threshold),
+            dupack: None,
+        };
+        configs.push((
+            format!("data-volume {} KB", threshold / 1000),
+            opts.figure1_config(protocol),
+        ));
+    }
+    configs.push((
+        "congestion-event".to_string(),
+        opts.figure1_config(Protocol::Mmptcp {
+            subflows: 8,
+            switch: SwitchStrategy::CongestionEvent,
+            dupack: None,
+        }),
+    ));
+    configs.push((
+        "never (PS only)".to_string(),
+        opts.figure1_config(Protocol::PacketScatter),
+    ));
+
+    let results = run_sweep(configs, opts.threads);
+
+    let mut table = Table::new(
+        "MMPTCP phase-switching strategies",
+        &[
+            "strategy",
+            "short mean FCT (ms)",
+            "short std (ms)",
+            "short p99 (ms)",
+            "flows w/ RTO",
+            "phase switches",
+            "long goodput (Gbps)",
+            "core loss",
+        ],
+    );
+    for (label, r) in &results {
+        let s = r.summary();
+        table.add_row(vec![
+            label.clone(),
+            f2(s.short_fct_mean_ms),
+            f2(s.short_fct_std_ms),
+            f2(s.short_fct_p99_ms),
+            s.short_flows_with_rto.to_string(),
+            r.phase_switches().to_string(),
+            f2(s.long_goodput_gbps),
+            metrics::pct(s.core_loss),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,25 @@
+//! # metrics — the measurement pipeline
+//!
+//! Turns the simulator's signal stream and per-link counters into the
+//! quantities the paper reports:
+//!
+//! * [`fct::FlowMetrics`] — per-flow completion times (mean, standard
+//!   deviation, percentiles), RTO / fast-retransmit / spurious-retransmit
+//!   counts and MMPTCP phase-switch times;
+//! * [`netstats`] — per-layer (edge / aggregation / core) loss rates, link and
+//!   tier utilisation, long-flow goodput;
+//! * [`stats`] — summaries, percentiles and histograms;
+//! * [`table`] — the plain-text tables the benchmark harnesses print.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fct;
+pub mod netstats;
+pub mod stats;
+pub mod table;
+
+pub use fct::{FlowMetrics, FlowRecord};
+pub use netstats::{loss_report, overall_utilisation, tier_utilisation, LayerLoss, LossReport, UtilisationReport};
+pub use stats::{percentile, percentile_sorted, Histogram, Summary};
+pub use table::{f2, f4, pct, Table};

@@ -1,0 +1,182 @@
+//! Small, dependency-free descriptive statistics used throughout the
+//! measurement pipeline (means, standard deviations, percentiles, histograms).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics. Returns the default (all zeros) for an
+    /// empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: sorted[count - 1],
+        }
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of an already-sorted
+/// slice. `p` is in `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+/// A fixed-bin histogram (used for completion-time distributions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub start: f64,
+    /// Width of each bin.
+    pub bin_width: f64,
+    /// Counts per bin; the final bin is an overflow bin.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` regular bins of `bin_width` starting at
+    /// `start`, plus an implicit overflow bin.
+    pub fn new(start: f64, bin_width: f64, bins: usize) -> Self {
+        assert!(bin_width > 0.0 && bins > 0);
+        Histogram {
+            start,
+            bin_width,
+            counts: vec![0; bins + 1],
+        }
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, value: f64) {
+        let idx = if value < self.start {
+            0
+        } else {
+            (((value - self.start) / self.bin_width) as usize).min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of samples at or below the right edge of bin `idx`.
+    pub fn cumulative_fraction(&self, idx: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.counts[..=idx.min(self.counts.len() - 1)].iter().sum();
+        cum as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.std_dev - 2.0).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile(&v, 100.0) - 100.0).abs() < 1e-9);
+        assert!((percentile(&v, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&v, 99.0) - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_percentile() {
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5); // bins [0,10), [10,20) ... [40,50) + overflow
+        for v in [1.0, 5.0, 15.0, 45.0, 1000.0] {
+            h.add(v);
+        }
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1, "overflow bin");
+        assert_eq!(h.total(), 5);
+        assert!((h.cumulative_fraction(1) - 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! Experiment configuration: which topology, which workload, which transport.
+
+use netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use topology::{DumbbellConfig, FatTreeConfig, ParallelPathConfig, Vl2Config};
+use transport::{DupAckPolicy, SwitchStrategy, TransportConfig};
+use workload::{FlowSpec, PaperWorkloadConfig};
+
+/// The transport protocol a flow uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Single-path TCP (NewReno flavour).
+    Tcp,
+    /// DCTCP: TCP with ECN marking and α-proportional window reduction.
+    /// Requires switches with an ECN marking threshold (the experiment runner
+    /// configures one automatically if the topology does not).
+    Dctcp,
+    /// D²TCP: deadline-aware DCTCP. Flows without a deadline in the workload
+    /// behave exactly like DCTCP; flows with one gamma-correct their window
+    /// reduction by the deadline-imminence factor. Requires ECN like DCTCP.
+    D2tcp,
+    /// Multi-Path TCP with the given number of subflows.
+    Mptcp {
+        /// Number of subflows.
+        subflows: usize,
+    },
+    /// Packet scatter only: MMPTCP that never leaves its first phase.
+    PacketScatter,
+    /// MMPTCP: packet-scatter phase followed by MPTCP with `subflows`
+    /// subflows.
+    Mmptcp {
+        /// Number of subflows opened at the phase switch.
+        subflows: usize,
+        /// Phase-switching strategy.
+        switch: SwitchStrategy,
+        /// Duplicate-ACK policy for the packet-scatter phase. `None` derives a
+        /// topology-aware threshold from the path count between the endpoints.
+        dupack: Option<DupAckPolicy>,
+    },
+}
+
+impl Protocol {
+    /// MMPTCP with default settings (8 subflows, data-volume switching,
+    /// topology-aware duplicate-ACK threshold).
+    pub fn mmptcp_default() -> Protocol {
+        Protocol::Mmptcp {
+            subflows: 8,
+            switch: SwitchStrategy::default(),
+            dupack: None,
+        }
+    }
+
+    /// MPTCP with 8 subflows (the configuration of Figure 1(b)).
+    pub fn mptcp8() -> Protocol {
+        Protocol::Mptcp { subflows: 8 }
+    }
+
+    /// Short human-readable name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Tcp => "tcp".into(),
+            Protocol::Dctcp => "dctcp".into(),
+            Protocol::D2tcp => "d2tcp".into(),
+            Protocol::Mptcp { subflows } => format!("mptcp-{subflows}"),
+            Protocol::PacketScatter => "packet-scatter".into(),
+            Protocol::Mmptcp { subflows, .. } => format!("mmptcp-{subflows}"),
+        }
+    }
+}
+
+/// Which topology to build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// k-ary FatTree.
+    FatTree(FatTreeConfig),
+    /// Dual-homed FatTree.
+    MultiHomedFatTree(FatTreeConfig),
+    /// VL2-style Clos.
+    Vl2(Vl2Config),
+    /// Dumbbell.
+    Dumbbell(DumbbellConfig),
+    /// Two edge switches joined by `p` parallel paths.
+    Parallel(ParallelPathConfig),
+}
+
+impl TopologySpec {
+    /// Build the topology.
+    pub fn build(&self) -> topology::BuiltTopology {
+        match self {
+            TopologySpec::FatTree(c) => topology::fattree::build(*c),
+            TopologySpec::MultiHomedFatTree(c) => topology::multihomed::build(*c),
+            TopologySpec::Vl2(c) => topology::vl2::build(*c),
+            TopologySpec::Dumbbell(c) => topology::dumbbell::build(*c),
+            TopologySpec::Parallel(c) => topology::parallel::build(*c),
+        }
+    }
+}
+
+/// Which workload to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's evaluation workload (long background flows on one third of
+    /// hosts, Poisson short flows on the rest, permutation matrix).
+    Paper(PaperWorkloadConfig),
+    /// A TCP-incast workload: groups of `fan_in` senders each blast `bytes`
+    /// at one receiver simultaneously.
+    Incast {
+        /// Senders per receiver.
+        fan_in: usize,
+        /// Bytes per sender.
+        bytes: u64,
+        /// Start time of the burst.
+        start: SimTime,
+    },
+    /// An explicit list of flows.
+    Custom(Vec<FlowSpec>),
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Topology to build.
+    pub topology: TopologySpec,
+    /// Workload to run over it.
+    pub workload: WorkloadSpec,
+    /// Transport protocol used by short flows (and by long flows unless
+    /// `long_protocol` overrides it).
+    pub protocol: Protocol,
+    /// Optional different protocol for long (background) flows — used by the
+    /// co-existence experiments.
+    pub long_protocol: Option<Protocol>,
+    /// Per-subflow TCP parameters.
+    pub transport: TransportConfig,
+    /// Random seed. The same seed reproduces the same packet-level schedule.
+    pub seed: u64,
+    /// Hard cap on simulated time.
+    pub max_sim_time: SimDuration,
+    /// Interval at which the runner checks for completion and drains signals.
+    pub progress_interval: SimDuration,
+    /// Fixed window over which long-flow goodput is measured (from time zero).
+    /// `None` measures over the whole run, which makes runs of different
+    /// lengths incomparable: a protocol whose short flows straggle keeps
+    /// simulating long after the others, and its long flows then enjoy an
+    /// uncontended network that inflates their average. The Figure-1 configs
+    /// therefore pin this to one second — inside the loaded period for every
+    /// protocol under comparison.
+    pub goodput_horizon: Option<SimDuration>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            topology: TopologySpec::FatTree(FatTreeConfig::benchmark()),
+            workload: WorkloadSpec::Paper(PaperWorkloadConfig::default()),
+            protocol: Protocol::mmptcp_default(),
+            long_protocol: None,
+            transport: TransportConfig::default(),
+            seed: 1,
+            max_sim_time: SimDuration::from_secs(20),
+            progress_interval: SimDuration::from_millis(50),
+            goodput_horizon: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A small, fast configuration for unit/integration tests: a 16-host
+    /// FatTree with a light paper-style workload.
+    pub fn small_test(protocol: Protocol, seed: u64) -> Self {
+        ExperimentConfig {
+            topology: TopologySpec::FatTree(FatTreeConfig::small()),
+            workload: WorkloadSpec::Paper(PaperWorkloadConfig {
+                flows_per_short_host: 2,
+                arrivals: workload::ArrivalProcess::Poisson {
+                    mean_interarrival: SimDuration::from_millis(20),
+                },
+                ..PaperWorkloadConfig::default()
+            }),
+            protocol,
+            seed,
+            max_sim_time: SimDuration::from_secs(10),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The paper's Figure 1 scenario at the requested scale. `full` uses the
+    /// 512-server topology; otherwise a 4:1 over-subscribed 64-host FatTree is
+    /// used, preserving the contention regime at laptop-friendly cost.
+    pub fn figure1(protocol: Protocol, seed: u64, full: bool, flows_per_host: usize) -> Self {
+        let topo = if full {
+            FatTreeConfig::paper()
+        } else {
+            FatTreeConfig::benchmark()
+        };
+        ExperimentConfig {
+            topology: TopologySpec::FatTree(topo),
+            workload: WorkloadSpec::Paper(PaperWorkloadConfig {
+                flows_per_short_host: flows_per_host,
+                ..PaperWorkloadConfig::default()
+            }),
+            protocol,
+            seed,
+            goodput_horizon: Some(SimDuration::from_secs(1)),
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Tcp.name(), "tcp");
+        assert_eq!(Protocol::mptcp8().name(), "mptcp-8");
+        assert_eq!(Protocol::mmptcp_default().name(), "mmptcp-8");
+        assert_eq!(Protocol::PacketScatter.name(), "packet-scatter");
+        assert_eq!(Protocol::Dctcp.name(), "dctcp");
+        assert_eq!(Protocol::D2tcp.name(), "d2tcp");
+    }
+
+    #[test]
+    fn figure1_pins_a_goodput_horizon() {
+        let c = ExperimentConfig::figure1(Protocol::Tcp, 1, false, 4);
+        assert_eq!(c.goodput_horizon, Some(SimDuration::from_secs(1)));
+        assert_eq!(ExperimentConfig::default().goodput_horizon, None);
+    }
+
+    #[test]
+    fn topology_specs_build() {
+        assert_eq!(
+            TopologySpec::FatTree(FatTreeConfig::small()).build().host_count(),
+            16
+        );
+        assert_eq!(
+            TopologySpec::Dumbbell(DumbbellConfig::default()).build().host_count(),
+            4
+        );
+        assert_eq!(
+            TopologySpec::Parallel(ParallelPathConfig::default()).build().host_count(),
+            2
+        );
+        assert!(TopologySpec::Vl2(Vl2Config::default()).build().host_count() > 0);
+        assert_eq!(
+            TopologySpec::MultiHomedFatTree(FatTreeConfig::small())
+                .build()
+                .host_count(),
+            16
+        );
+    }
+
+    #[test]
+    fn default_config_is_benchmark_scale() {
+        let c = ExperimentConfig::default();
+        match c.topology {
+            TopologySpec::FatTree(ft) => assert_eq!(ft.total_hosts(), 64),
+            _ => panic!("unexpected default topology"),
+        }
+    }
+
+    #[test]
+    fn figure1_full_uses_paper_scale() {
+        let c = ExperimentConfig::figure1(Protocol::mptcp8(), 1, true, 8);
+        match c.topology {
+            TopologySpec::FatTree(ft) => assert_eq!(ft.total_hosts(), 512),
+            _ => panic!(),
+        }
+    }
+}

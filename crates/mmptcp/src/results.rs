@@ -1,0 +1,333 @@
+//! Results of one experiment run.
+
+use metrics::{FlowMetrics, LossReport, Summary, UtilisationReport};
+use netsim::{FlowId, SimCounters, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use workload::{FlowClass, FlowSpec};
+
+use crate::config::Protocol;
+
+/// Everything measured during one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// Human-readable run name (protocol + topology).
+    pub name: String,
+    /// Protocol used by short flows.
+    pub protocol: Protocol,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Simulated time at which the run ended.
+    pub elapsed: SimDuration,
+    /// The workload that was executed.
+    pub flows: Vec<FlowSpec>,
+    /// Flow ids of short flows.
+    pub short_ids: HashSet<FlowId>,
+    /// Flow ids of long (background) flows.
+    pub long_ids: HashSet<FlowId>,
+    /// Per-flow measurements.
+    pub metrics: FlowMetrics,
+    /// Per-layer loss report.
+    pub loss: LossReport,
+    /// Utilisation of the aggregation↔core tier.
+    pub core_utilisation: UtilisationReport,
+    /// Mean utilisation over every link.
+    pub overall_utilisation: f64,
+    /// Engine counters (events, drops, forwards).
+    pub counters: SimCounters,
+    /// Whether every short flow completed before the simulated-time cap.
+    pub all_short_completed: bool,
+    /// Fixed measurement window for long-flow goodput (see
+    /// `ExperimentConfig::goodput_horizon`); `None` measures over the run.
+    pub goodput_horizon: Option<SimDuration>,
+}
+
+/// A compact, serialisable summary of a run (used by the bench harnesses to
+/// print tables and record EXPERIMENTS.md entries).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Run name.
+    pub name: String,
+    /// Number of short flows that completed.
+    pub short_flows: usize,
+    /// Mean short-flow completion time (ms).
+    pub short_fct_mean_ms: f64,
+    /// Standard deviation of short-flow completion time (ms).
+    pub short_fct_std_ms: f64,
+    /// 99th percentile of short-flow completion time (ms).
+    pub short_fct_p99_ms: f64,
+    /// Largest short-flow completion time (ms).
+    pub short_fct_max_ms: f64,
+    /// Number of short flows that suffered at least one RTO.
+    pub short_flows_with_rto: usize,
+    /// Aggregate goodput of the long flows (Gbps).
+    pub long_goodput_gbps: f64,
+    /// Loss rate at the core layer.
+    pub core_loss: f64,
+    /// Loss rate at the aggregation layer.
+    pub aggregation_loss: f64,
+    /// Loss rate at the edge layer.
+    pub edge_loss: f64,
+    /// Mean utilisation of aggregation↔core links.
+    pub core_utilisation: f64,
+    /// Mean utilisation over all links.
+    pub overall_utilisation: f64,
+}
+
+impl ExperimentResults {
+    /// Is this flow a short flow?
+    pub fn is_short(&self, flow: FlowId) -> bool {
+        self.short_ids.contains(&flow)
+    }
+
+    /// Is this flow a long flow?
+    pub fn is_long(&self, flow: FlowId) -> bool {
+        self.long_ids.contains(&flow)
+    }
+
+    /// Completion times (ms) of short flows, ordered by flow id — the series
+    /// plotted in Figures 1(b) and 1(c).
+    pub fn short_fcts_ms(&self) -> Vec<f64> {
+        self.metrics.fcts_ms(|f| self.short_ids.contains(&f))
+    }
+
+    /// Per-flow (flow id, FCT ms) pairs for the scatter plots.
+    pub fn short_fct_series(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self
+            .metrics
+            .sorted_records()
+            .into_iter()
+            .filter(|(id, _)| self.short_ids.contains(id))
+            .filter_map(|(id, r)| r.fct().map(|d| (id.0, d.as_millis_f64())))
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Summary (ms) of short-flow completion times.
+    pub fn short_fct_summary(&self) -> Summary {
+        self.metrics.fct_summary_ms(|f| self.short_ids.contains(&f))
+    }
+
+    /// Number of short flows that experienced at least one RTO.
+    pub fn short_flows_with_rto(&self) -> usize {
+        self.metrics.flows_with_rto(|f| self.short_ids.contains(&f))
+    }
+
+    /// Aggregate goodput of long flows in bits/second.
+    ///
+    /// When a goodput horizon is configured the measurement window is
+    /// `[0, min(horizon, elapsed)]` and uses the receivers' progress-report
+    /// time series, so runs that lasted different amounts of simulated time
+    /// remain comparable. Without a horizon the whole run is used.
+    pub fn long_goodput_bps(&self) -> f64 {
+        let end = match self.goodput_horizon {
+            Some(h) => netsim::SimTime::ZERO + h.min(self.elapsed),
+            None => netsim::SimTime::ZERO + self.elapsed,
+        };
+        match self.goodput_horizon {
+            Some(_) => self
+                .metrics
+                .goodput_bps_windowed(|f| self.long_ids.contains(&f), netsim::SimTime::ZERO, end),
+            None => self
+                .metrics
+                .goodput_bps(|f| self.long_ids.contains(&f), netsim::SimTime::ZERO, end),
+        }
+    }
+
+    /// Number of flows that switched phase (MMPTCP only).
+    pub fn phase_switches(&self) -> usize {
+        self.metrics
+            .sorted_records()
+            .iter()
+            .filter(|(_, r)| r.phase_switched.is_some())
+            .count()
+    }
+
+    /// Number of spurious retransmissions across short flows.
+    pub fn short_spurious_retransmits(&self) -> u64 {
+        self.metrics
+            .sorted_records()
+            .iter()
+            .filter(|(id, _)| self.short_ids.contains(id))
+            .map(|(_, r)| r.spurious_retransmits as u64)
+            .sum()
+    }
+
+    /// Build the compact summary.
+    pub fn summary(&self) -> RunSummary {
+        let s = self.short_fct_summary();
+        RunSummary {
+            name: self.name.clone(),
+            short_flows: s.count,
+            short_fct_mean_ms: s.mean,
+            short_fct_std_ms: s.std_dev,
+            short_fct_p99_ms: s.p99,
+            short_fct_max_ms: s.max,
+            short_flows_with_rto: self.short_flows_with_rto(),
+            long_goodput_gbps: self.long_goodput_bps() / 1e9,
+            core_loss: self.loss.core.loss_rate(),
+            aggregation_loss: self.loss.aggregation.loss_rate(),
+            edge_loss: self.loss.edge.loss_rate(),
+            core_utilisation: self.core_utilisation.mean,
+            overall_utilisation: self.overall_utilisation,
+        }
+    }
+
+    /// Classify a workload flow spec by class using the stored spec list.
+    pub fn class_of(&self, flow: FlowId) -> Option<FlowClass> {
+        self.flows.iter().find(|f| f.id == flow.0).map(|f| f.class)
+    }
+
+    /// Deadline accounting over flows that carry a deadline in the workload:
+    /// `(missed, total_with_deadline)`. A flow misses its deadline when it
+    /// either finished later than `start + deadline` or never finished at all.
+    pub fn deadline_misses(&self) -> (usize, usize) {
+        let mut missed = 0usize;
+        let mut total = 0usize;
+        for spec in &self.flows {
+            let Some(deadline) = spec.deadline else {
+                continue;
+            };
+            total += 1;
+            let rec = self.metrics.record(FlowId(spec.id));
+            let met = rec
+                .and_then(|r| r.completed)
+                .map(|done| done <= spec.start + deadline)
+                .unwrap_or(false);
+            if !met {
+                missed += 1;
+            }
+        }
+        (missed, total)
+    }
+
+    /// Fraction of deadline-carrying flows that missed their deadline
+    /// (0.0 when the workload has no deadlines).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let (missed, total) = self.deadline_misses();
+        if total == 0 {
+            0.0
+        } else {
+            missed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::LossReport;
+    use netsim::Signal;
+    use netsim::SimTime;
+
+    fn fake_results() -> ExperimentResults {
+        let mut metrics = FlowMetrics::new();
+        metrics.ingest(&[
+            Signal::FlowStarted {
+                flow: FlowId(1),
+                at: SimTime::from_millis(0),
+                bytes: 70_000,
+            },
+            Signal::FlowCompleted {
+                flow: FlowId(1),
+                at: SimTime::from_millis(100),
+                bytes: 70_000,
+            },
+            Signal::FlowStarted {
+                flow: FlowId(2),
+                at: SimTime::from_millis(0),
+                bytes: 70_000,
+            },
+            Signal::FlowCompleted {
+                flow: FlowId(2),
+                at: SimTime::from_millis(300),
+                bytes: 70_000,
+            },
+            Signal::FlowProgress {
+                flow: FlowId(0),
+                at: SimTime::from_secs(1),
+                bytes: 125_000_000,
+            },
+            Signal::RetransmissionTimeout {
+                flow: FlowId(2),
+                subflow: 0,
+                at: SimTime::from_millis(150),
+            },
+        ]);
+        ExperimentResults {
+            name: "test".into(),
+            protocol: Protocol::Tcp,
+            seed: 1,
+            elapsed: SimDuration::from_secs(1),
+            flows: vec![],
+            short_ids: [FlowId(1), FlowId(2)].into_iter().collect(),
+            long_ids: [FlowId(0)].into_iter().collect(),
+            metrics,
+            loss: LossReport::default(),
+            core_utilisation: UtilisationReport::default(),
+            overall_utilisation: 0.0,
+            counters: SimCounters::default(),
+            all_short_completed: true,
+            goodput_horizon: None,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_short_flows_only() {
+        let r = fake_results();
+        let s = r.summary();
+        assert_eq!(s.short_flows, 2);
+        assert!((s.short_fct_mean_ms - 200.0).abs() < 1e-9);
+        assert_eq!(s.short_flows_with_rto, 1);
+        // 125 MB over 1 s = 1 Gbps of long-flow goodput.
+        assert!((s.long_goodput_gbps - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fct_series_is_ordered_by_flow_id() {
+        let r = fake_results();
+        let series = r.short_fct_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 1);
+        assert_eq!(series[1].0, 2);
+        assert!((series[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let r = fake_results();
+        assert!(r.is_short(FlowId(1)));
+        assert!(r.is_long(FlowId(0)));
+        assert!(!r.is_short(FlowId(0)));
+        assert_eq!(r.phase_switches(), 0);
+        assert_eq!(r.short_spurious_retransmits(), 0);
+    }
+
+    #[test]
+    fn deadline_miss_accounting() {
+        use netsim::Addr;
+        use workload::FlowSpec;
+        let mut r = fake_results();
+        // No deadlines in the workload: rate is zero.
+        assert_eq!(r.deadline_misses(), (0, 0));
+        assert_eq!(r.deadline_miss_rate(), 0.0);
+        // Flow 1 completed at 100 ms, flow 2 at 300 ms (see fake_results).
+        let spec = |id: u64, deadline_ms: u64| FlowSpec {
+            deadline: Some(SimDuration::from_millis(deadline_ms)),
+            ..FlowSpec::new(
+                id,
+                Addr(0),
+                Addr(1),
+                Some(70_000),
+                SimTime::from_millis(0),
+                workload::FlowClass::Short,
+            )
+        };
+        r.flows = vec![spec(1, 150), spec(2, 150), spec(99, 150)];
+        // Flow 1 met (100 <= 150), flow 2 missed (300 > 150), flow 99 never
+        // completed (no record) so it also counts as a miss.
+        assert_eq!(r.deadline_misses(), (2, 3));
+        assert!((r.deadline_miss_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,201 @@
+//! The interface between the simulator and transport endpoints.
+//!
+//! A transport protocol implementation (TCP sender, MPTCP receiver, …) is an
+//! [`Agent`] attached to a host under the connection's [`FlowId`]. The
+//! simulator drives agents with [`AgentEvent`]s and agents act on the world
+//! exclusively through the [`AgentCtx`] handed to them: sending packets,
+//! arming timers and emitting measurement [`Signal`]s. This keeps the
+//! transport crates completely decoupled from the engine internals.
+
+use crate::ids::FlowId;
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::signal::Signal;
+use crate::time::SimTime;
+
+/// Something that happened which an agent must react to.
+#[derive(Debug, Clone)]
+pub enum AgentEvent {
+    /// The application asked the agent to start (e.g. begin transmitting).
+    Start,
+    /// A timer previously set with [`AgentCtx::set_timer`] fired. The token is
+    /// whatever the agent passed when arming it.
+    Timer(u64),
+    /// A packet addressed to this agent's flow arrived at the host.
+    Packet(Packet),
+    /// The simulation is ending; emit any final measurements (e.g. progress of
+    /// unbounded background flows).
+    Finalize,
+}
+
+/// The capabilities an agent has while handling an event.
+pub struct AgentCtx<'a> {
+    now: SimTime,
+    flow: FlowId,
+    rng: &'a mut SimRng,
+    out: &'a mut Vec<Packet>,
+    timers: &'a mut Vec<(SimTime, u64)>,
+    signals: &'a mut Vec<Signal>,
+}
+
+impl<'a> AgentCtx<'a> {
+    /// Construct a context. Only the simulator (and tests) should need this.
+    pub fn new(
+        now: SimTime,
+        flow: FlowId,
+        rng: &'a mut SimRng,
+        out: &'a mut Vec<Packet>,
+        timers: &'a mut Vec<(SimTime, u64)>,
+        signals: &'a mut Vec<Signal>,
+    ) -> Self {
+        AgentCtx {
+            now,
+            flow,
+            rng,
+            out,
+            timers,
+            signals,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The flow this agent is registered under.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Hand a packet to the host's NIC for transmission.
+    pub fn send(&mut self, packet: Packet) {
+        self.out.push(packet);
+    }
+
+    /// Arm a timer that will fire at absolute time `at` with the given token.
+    ///
+    /// Timers cannot be cancelled; agents are expected to ignore stale
+    /// firings (e.g. by comparing the token against a generation counter),
+    /// which is both simpler and closer to how retransmission timers are
+    /// usually implemented in simulators.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, token));
+    }
+
+    /// Arm a timer `delay` from now.
+    pub fn set_timer_after(&mut self, delay: crate::time::SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.set_timer(at, token);
+    }
+
+    /// Emit a measurement signal towards the experiment harness.
+    pub fn signal(&mut self, signal: Signal) {
+        self.signals.push(signal);
+    }
+
+    /// Number of packets queued for sending so far in this activation
+    /// (useful for pacing logic and tests).
+    pub fn pending_sends(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// A transport endpoint (or any other host-resident protocol entity).
+///
+/// Agents must be `Send` so entire simulations can be moved across threads by
+/// parameter-sweep harnesses (each simulation itself stays single-threaded).
+pub trait Agent: Send {
+    /// React to an event.
+    fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent);
+
+    /// Short human-readable description, used in traces and debugging output.
+    fn describe(&self) -> String {
+        "agent".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Addr;
+    use crate::time::SimDuration;
+
+    /// A trivial agent that echoes every data packet back as an ACK and
+    /// signals completion after a fixed number of packets.
+    struct Echo {
+        received: u32,
+        want: u32,
+    }
+
+    impl Agent for Echo {
+        fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+            match event {
+                AgentEvent::Packet(p) => {
+                    self.received += 1;
+                    ctx.send(p.reply_template());
+                    if self.received == self.want {
+                        ctx.signal(Signal::FlowCompleted {
+                            flow: ctx.flow(),
+                            at: ctx.now(),
+                            bytes: 0,
+                        });
+                    }
+                }
+                AgentEvent::Start => ctx.set_timer_after(SimDuration::from_millis(1), 7),
+                AgentEvent::Timer(_) | AgentEvent::Finalize => {}
+            }
+        }
+        fn describe(&self) -> String {
+            "echo".into()
+        }
+    }
+
+    #[test]
+    fn ctx_collects_actions() {
+        let mut rng = SimRng::new(1);
+        let mut out = Vec::new();
+        let mut timers = Vec::new();
+        let mut signals = Vec::new();
+        let mut agent = Echo {
+            received: 0,
+            want: 1,
+        };
+
+        let mut ctx = AgentCtx::new(
+            SimTime::from_millis(10),
+            FlowId(3),
+            &mut rng,
+            &mut out,
+            &mut timers,
+            &mut signals,
+        );
+        agent.handle(&mut ctx, AgentEvent::Start);
+        let pkt = Packet::data(
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            FlowId(3),
+            0,
+            0,
+            0,
+            100,
+            SimTime::ZERO,
+        );
+        agent.handle(&mut ctx, AgentEvent::Packet(pkt));
+        assert_eq!(ctx.pending_sends(), 1);
+
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].src, Addr(1));
+        assert_eq!(timers, vec![(SimTime::from_millis(11), 7)]);
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].flow(), FlowId(3));
+        assert_eq!(agent.describe(), "echo");
+    }
+}

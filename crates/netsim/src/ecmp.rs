@@ -1,0 +1,138 @@
+//! Hash-based Equal-Cost Multi-Path selection.
+//!
+//! Data-centre switches pick one of several equal-cost next hops by hashing
+//! the packet's 5-tuple; all packets of a TCP flow therefore follow the same
+//! path (no reordering), while flows as a whole are spread across paths.
+//! MMPTCP's packet-scatter phase exploits exactly this mechanism: by
+//! randomising the *source port* per packet, each packet hashes to a
+//! different path.
+
+use crate::packet::Packet;
+
+/// A 64-bit mixing function (SplitMix64 finaliser). Good avalanche behaviour,
+/// deterministic, and dependency-free.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a packet's forwarding 5-tuple together with a per-switch salt.
+///
+/// The salt models the fact that different switches use different (vendor
+/// specific) hash functions/seeds, so a flow that collides on one switch does
+/// not necessarily collide everywhere.
+#[inline]
+pub fn flow_hash(packet: &Packet, salt: u64) -> u64 {
+    let a = ((packet.src.0 as u64) << 32) | packet.dst.0 as u64;
+    let b = ((packet.src_port as u64) << 16) | packet.dst_port as u64;
+    mix64(a ^ mix64(b ^ salt))
+}
+
+/// Pick an index in `0..n` for this packet using hash-based ECMP.
+///
+/// Panics if `n == 0` — a switch must always have at least one candidate
+/// next hop for a reachable destination.
+#[inline]
+pub fn select(packet: &Packet, salt: u64, n: usize) -> usize {
+    assert!(n > 0, "ECMP selection over an empty next-hop set");
+    if n == 1 {
+        return 0;
+    }
+    (flow_hash(packet, salt) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Addr, FlowId};
+    use crate::time::SimTime;
+
+    fn pkt(src_port: u16) -> Packet {
+        Packet::data(
+            Addr(3),
+            Addr(77),
+            src_port,
+            8080,
+            FlowId(5),
+            0,
+            0,
+            0,
+            1400,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn same_tuple_same_choice() {
+        let p = pkt(51_000);
+        let q = pkt(51_000);
+        for n in [2usize, 4, 8, 16] {
+            assert_eq!(select(&p, 1234, n), select(&q, 1234, n));
+        }
+    }
+
+    #[test]
+    fn source_port_changes_spread_choices() {
+        // The packet-scatter premise: varying the source port gives a roughly
+        // uniform spread over the candidate set.
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for port in 49152..(49152 + 4096) {
+            counts[select(&pkt(port), 42, n)] += 1;
+        }
+        let expected = 4096 / n;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as i64 - expected as i64).abs() < (expected as i64) / 2,
+                "bucket {i} count {c} far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn salt_decorrelates_switches() {
+        // A pair of flows that collide under one salt should usually not
+        // collide under a different salt.
+        let mut collisions_both = 0;
+        let mut collisions_first = 0;
+        for port in 0..2048u16 {
+            let a = pkt(49152 + port);
+            let b = pkt(49152 + port.wrapping_add(7919));
+            let n = 4;
+            if select(&a, 1, n) == select(&b, 1, n) {
+                collisions_first += 1;
+                if select(&a, 2, n) == select(&b, 2, n) {
+                    collisions_both += 1;
+                }
+            }
+        }
+        assert!(collisions_first > 0);
+        // Roughly 1/n of the first-salt collisions should persist, certainly
+        // not all of them.
+        assert!(collisions_both < collisions_first);
+    }
+
+    #[test]
+    fn single_candidate_short_circuits() {
+        assert_eq!(select(&pkt(50_000), 9, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty next-hop set")]
+    fn empty_candidate_set_panics() {
+        select(&pkt(50_000), 9, 0);
+    }
+
+    #[test]
+    fn mix64_avalanche() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let x = 0xDEAD_BEEF_u64;
+        let a = mix64(x);
+        let b = mix64(x ^ 1);
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 16, "only {differing} bits differ");
+    }
+}

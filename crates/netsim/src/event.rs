@@ -1,0 +1,180 @@
+//! Simulation events and the calendar (event queue).
+//!
+//! The event queue is a binary heap ordered by `(time, insertion sequence)`.
+//! The insertion sequence guarantees FIFO processing of simultaneous events,
+//! which keeps runs bit-for-bit reproducible regardless of heap internals.
+
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A packet finishes propagating over `link` and arrives at the link's
+    /// destination node.
+    Delivery {
+        /// Link the packet travelled on.
+        link: LinkId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// The transmitter of `link` finishes serialising the packet currently on
+    /// the wire and may start on the next queued packet.
+    TransmitComplete {
+        /// The link whose transmitter became free.
+        link: LinkId,
+    },
+    /// A transport-layer timer (e.g. an RTO) fires for agent `flow` on `node`.
+    AgentTimer {
+        /// Host the agent lives on.
+        node: NodeId,
+        /// The agent's flow id.
+        flow: FlowId,
+        /// Opaque token chosen by the agent when the timer was set.
+        token: u64,
+    },
+    /// The application asks agent `flow` on `node` to start.
+    FlowStart {
+        /// Host the agent lives on.
+        node: NodeId,
+        /// The agent's flow id.
+        flow: FlowId,
+    },
+    /// The experiment harness asked to stop the simulation at this time.
+    Stop,
+}
+
+/// An event plus its scheduled time and FIFO tie-break sequence number.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator's calendar.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for engine statistics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stop_at(q: &mut EventQueue, ms: u64) {
+        q.schedule(SimTime::from_millis(ms), Event::Stop);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        stop_at(&mut q, 30);
+        stop_at(&mut q, 10);
+        stop_at(&mut q, 20);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.as_millis())).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10u64 {
+            q.schedule(
+                t,
+                Event::FlowStart {
+                    node: NodeId(0),
+                    flow: FlowId(i),
+                },
+            );
+        }
+        let mut order = Vec::new();
+        while let Some((_, ev)) = q.pop() {
+            if let Event::FlowStart { flow, .. } = ev {
+                order.push(flow.0);
+            }
+        }
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        stop_at(&mut q, 7);
+        stop_at(&mut q, 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

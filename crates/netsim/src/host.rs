@@ -1,0 +1,262 @@
+//! End hosts (servers).
+//!
+//! A host owns its attachment links (one for single-homed topologies, several
+//! for the multi-homed designs the paper's roadmap discusses) and a table of
+//! transport agents keyed by flow id. Packet demultiplexing is by flow id,
+//! which all subflows of a connection share — this sidesteps the fact that
+//! MMPTCP's packet-scatter phase deliberately varies the source port per
+//! packet, making classic 5-tuple demux unusable.
+
+use crate::agent::{Agent, AgentCtx, AgentEvent};
+use crate::ids::{Addr, FlowId, LinkId, NodeId};
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-host counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostStats {
+    /// Packets delivered to a local agent.
+    pub delivered: u64,
+    /// Packets that arrived with no matching agent (counted, not fatal:
+    /// e.g. late retransmissions arriving after an experiment tears a flow
+    /// down).
+    pub unmatched: u64,
+    /// Packets that arrived addressed to a different host (indicates a
+    /// routing bug; surfaced through statistics and asserted on in tests).
+    pub misrouted: u64,
+}
+
+/// An end host.
+pub struct Host {
+    /// This host's node id.
+    pub id: NodeId,
+    /// This host's network address.
+    pub addr: Addr,
+    /// Outgoing attachment links (towards edge switches), in attachment order.
+    pub uplinks: Vec<LinkId>,
+    /// Salt used to pick among multiple uplinks (multi-homed hosts).
+    pub ecmp_salt: u64,
+    agents: HashMap<FlowId, Box<dyn Agent>>,
+    stats: HostStats,
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("uplinks", &self.uplinks)
+            .field("agents", &self.agents.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Host {
+    /// Create a host. Uplinks are attached later by the topology builder.
+    pub fn new(id: NodeId, addr: Addr, ecmp_salt: u64) -> Self {
+        Host {
+            id,
+            addr,
+            uplinks: Vec::new(),
+            ecmp_salt,
+            agents: HashMap::new(),
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Attach an outgoing link.
+    pub fn attach_uplink(&mut self, link: LinkId) {
+        self.uplinks.push(link);
+    }
+
+    /// Install an agent under `flow`. Replaces (and returns) any previous
+    /// agent registered under the same flow.
+    pub fn register_agent(&mut self, flow: FlowId, agent: Box<dyn Agent>) -> Option<Box<dyn Agent>> {
+        self.agents.insert(flow, agent)
+    }
+
+    /// Remove the agent registered under `flow`.
+    pub fn remove_agent(&mut self, flow: FlowId) -> Option<Box<dyn Agent>> {
+        self.agents.remove(&flow)
+    }
+
+    /// Number of agents installed.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Does an agent exist for `flow`?
+    pub fn has_agent(&self, flow: FlowId) -> bool {
+        self.agents.contains_key(&flow)
+    }
+
+    /// Deliver a packet to the matching agent.
+    pub fn deliver(&mut self, ctx: &mut AgentCtx<'_>, packet: Packet) {
+        if packet.dst != self.addr {
+            self.stats.misrouted += 1;
+            return;
+        }
+        match self.agents.get_mut(&packet.flow) {
+            Some(agent) => {
+                self.stats.delivered += 1;
+                agent.handle(ctx, AgentEvent::Packet(packet));
+            }
+            None => {
+                self.stats.unmatched += 1;
+            }
+        }
+    }
+
+    /// Dispatch a non-packet event (start, timer, finalize) to the agent for
+    /// `flow`, if present. Returns whether an agent handled it.
+    pub fn dispatch(&mut self, ctx: &mut AgentCtx<'_>, flow: FlowId, event: AgentEvent) -> bool {
+        match self.agents.get_mut(&flow) {
+            Some(agent) => {
+                agent.handle(ctx, event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterate over all flow ids with agents on this host (sorted, so
+    /// iteration order is deterministic).
+    pub fn agent_flows(&self) -> Vec<FlowId> {
+        let mut flows: Vec<FlowId> = self.agents.keys().copied().collect();
+        flows.sort_unstable();
+        flows
+    }
+
+    /// Choose the uplink for an outgoing packet. Single-homed hosts always use
+    /// their only uplink; multi-homed hosts hash the packet's 5-tuple so that,
+    /// like in the fabric, per-packet source-port randomisation spreads load.
+    pub fn select_uplink(&self, packet: &Packet) -> Option<LinkId> {
+        match self.uplinks.len() {
+            0 => None,
+            1 => Some(self.uplinks[0]),
+            n => {
+                let idx = crate::ecmp::select(packet, self.ecmp_salt, n);
+                Some(self.uplinks[idx])
+            }
+        }
+    }
+
+    /// This host's counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+    use crate::signal::Signal;
+    use crate::time::SimTime;
+
+    struct Counter {
+        packets: u32,
+        timers: u32,
+    }
+    impl Agent for Counter {
+        fn handle(&mut self, _ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+            match event {
+                AgentEvent::Packet(_) => self.packets += 1,
+                AgentEvent::Timer(_) => self.timers += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn ctx_parts() -> (SimRng, Vec<Packet>, Vec<(SimTime, u64)>, Vec<Signal>) {
+        (SimRng::new(1), Vec::new(), Vec::new(), Vec::new())
+    }
+
+    fn pkt(dst: u32, flow: u64, src_port: u16) -> Packet {
+        Packet::data(
+            Addr(0),
+            Addr(dst),
+            src_port,
+            80,
+            FlowId(flow),
+            0,
+            0,
+            0,
+            100,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn demux_by_flow_id() {
+        let mut host = Host::new(NodeId(5), Addr(2), 0);
+        host.register_agent(FlowId(1), Box::new(Counter { packets: 0, timers: 0 }));
+        let (mut rng, mut out, mut timers, mut signals) = ctx_parts();
+        let mut ctx = AgentCtx::new(
+            SimTime::ZERO,
+            FlowId(1),
+            &mut rng,
+            &mut out,
+            &mut timers,
+            &mut signals,
+        );
+        host.deliver(&mut ctx, pkt(2, 1, 50_000));
+        host.deliver(&mut ctx, pkt(2, 9, 50_000)); // no such agent
+        host.deliver(&mut ctx, pkt(3, 1, 50_000)); // wrong address
+        assert_eq!(host.stats().delivered, 1);
+        assert_eq!(host.stats().unmatched, 1);
+        assert_eq!(host.stats().misrouted, 1);
+    }
+
+    #[test]
+    fn dispatch_reports_missing_agent() {
+        let mut host = Host::new(NodeId(5), Addr(2), 0);
+        host.register_agent(FlowId(1), Box::new(Counter { packets: 0, timers: 0 }));
+        let (mut rng, mut out, mut timers, mut signals) = ctx_parts();
+        let mut ctx = AgentCtx::new(
+            SimTime::ZERO,
+            FlowId(1),
+            &mut rng,
+            &mut out,
+            &mut timers,
+            &mut signals,
+        );
+        assert!(host.dispatch(&mut ctx, FlowId(1), AgentEvent::Timer(0)));
+        assert!(!host.dispatch(&mut ctx, FlowId(2), AgentEvent::Timer(0)));
+    }
+
+    #[test]
+    fn register_remove_and_list() {
+        let mut host = Host::new(NodeId(5), Addr(2), 0);
+        host.register_agent(FlowId(3), Box::new(Counter { packets: 0, timers: 0 }));
+        host.register_agent(FlowId(1), Box::new(Counter { packets: 0, timers: 0 }));
+        assert_eq!(host.agent_count(), 2);
+        assert!(host.has_agent(FlowId(3)));
+        assert_eq!(host.agent_flows(), vec![FlowId(1), FlowId(3)]);
+        assert!(host.remove_agent(FlowId(3)).is_some());
+        assert!(!host.has_agent(FlowId(3)));
+        assert_eq!(host.agent_count(), 1);
+    }
+
+    #[test]
+    fn single_homed_uplink_selection() {
+        let mut host = Host::new(NodeId(5), Addr(2), 0);
+        assert_eq!(host.select_uplink(&pkt(9, 1, 50_000)), None);
+        host.attach_uplink(LinkId(4));
+        assert_eq!(host.select_uplink(&pkt(9, 1, 50_000)), Some(LinkId(4)));
+    }
+
+    #[test]
+    fn multi_homed_uses_both_uplinks() {
+        let mut host = Host::new(NodeId(5), Addr(2), 1234);
+        host.attach_uplink(LinkId(4));
+        host.attach_uplink(LinkId(5));
+        let mut seen = std::collections::HashSet::new();
+        for port in 49152..49152 + 64 {
+            seen.insert(host.select_uplink(&pkt(9, 1, port)).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Unidirectional point-to-point links.
+//!
+//! A link models a single transmission direction between two nodes: a
+//! serialisation stage (rate-limited by the link bandwidth, one packet at a
+//! time), a drop-tail output queue feeding the transmitter, and a fixed
+//! propagation delay. Full-duplex cables are modelled as two independent
+//! links created in opposite directions by the topology builders.
+
+use crate::ids::{LinkId, NodeId};
+use crate::queue::{DropTailQueue, EnqueueOutcome, QueueConfig, QueueStats};
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Bandwidth in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Output queue configuration.
+    pub queue: QueueConfig,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            // 1 Gbps access links were the norm in 2015-era data-centre studies.
+            rate_bps: 1_000_000_000,
+            delay: SimDuration::from_micros(25),
+            queue: QueueConfig::default(),
+        }
+    }
+}
+
+/// Counters maintained per link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets fully transmitted onto the wire.
+    pub tx_packets: u64,
+    /// Wire bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Time the transmitter has spent busy, in nanoseconds (for utilisation).
+    pub busy_ns: u64,
+}
+
+/// One unidirectional link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Static configuration.
+    pub config: LinkConfig,
+    queue: DropTailQueue,
+    /// Whether the transmitter is currently serialising a packet.
+    transmitting: bool,
+    stats: LinkStats,
+}
+
+/// What the caller of [`Link::offer`] / [`Link::on_transmit_complete`] must do
+/// next: if a transmission was started, schedule the corresponding
+/// `TransmitComplete` and `Delivery` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartedTransmission {
+    /// The packet that was put on the wire.
+    pub packet: Packet,
+    /// When serialisation finishes (schedule `TransmitComplete` then).
+    pub transmit_done_at: SimTime,
+    /// When the packet arrives at `to` (schedule `Delivery` then).
+    pub delivered_at: SimTime,
+}
+
+impl Link {
+    /// Create a link.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, config: LinkConfig) -> Self {
+        Link {
+            id,
+            from,
+            to,
+            config,
+            queue: DropTailQueue::new(config.queue),
+            transmitting: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a packet for transmission at time `now`.
+    ///
+    /// Returns `Ok(Some(tx))` if the transmitter was idle and the packet went
+    /// straight onto the wire, `Ok(None)` if it was queued behind others, and
+    /// `Err(outcome)` if the queue dropped it.
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        packet: Packet,
+    ) -> Result<Option<StartedTransmission>, EnqueueOutcome> {
+        match self.queue.enqueue(packet) {
+            EnqueueOutcome::Dropped => Err(EnqueueOutcome::Dropped),
+            EnqueueOutcome::Queued | EnqueueOutcome::QueuedMarked => {
+                if self.transmitting {
+                    Ok(None)
+                } else {
+                    Ok(self.start_next(now))
+                }
+            }
+        }
+    }
+
+    /// Notify the link that the serialisation it previously started has
+    /// finished; it will begin transmitting the next queued packet if any.
+    pub fn on_transmit_complete(&mut self, now: SimTime) -> Option<StartedTransmission> {
+        self.transmitting = false;
+        self.start_next(now)
+    }
+
+    fn start_next(&mut self, now: SimTime) -> Option<StartedTransmission> {
+        let packet = self.queue.dequeue()?;
+        let wire = packet.wire_bytes() as u64;
+        let tx_time = SimDuration::transmission(wire, self.config.rate_bps);
+        self.transmitting = true;
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += wire;
+        self.stats.busy_ns += tx_time.as_nanos();
+        let transmit_done_at = now + tx_time;
+        let delivered_at = transmit_done_at + self.config.delay;
+        Some(StartedTransmission {
+            packet,
+            transmit_done_at,
+            delivered_at,
+        })
+    }
+
+    /// Current queue depth in packets (excluding the packet on the wire).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Link counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Utilisation of this link over `elapsed` time: fraction of time the
+    /// transmitter was busy, in `[0, 1]`.
+    pub fn utilisation(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.stats.busy_ns as f64 / elapsed.as_nanos() as f64).min(1.0)
+    }
+
+    /// Is the transmitter currently busy?
+    pub fn is_transmitting(&self) -> bool {
+        self.transmitting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Addr, FlowId};
+
+    fn cfg() -> LinkConfig {
+        LinkConfig {
+            rate_bps: 1_000_000_000, // 1 Gbps
+            delay: SimDuration::from_micros(10),
+            queue: QueueConfig {
+                limit_packets: 2,
+                ..QueueConfig::default()
+            },
+        }
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            FlowId(1),
+            0,
+            seq,
+            seq,
+            1446, // 1446 + 54 header = 1500 wire bytes -> 12 us at 1 Gbps
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), cfg());
+        let now = SimTime::from_millis(1);
+        let tx = link.offer(now, pkt(0)).unwrap().unwrap();
+        assert_eq!(tx.transmit_done_at, now + SimDuration::from_micros(12));
+        assert_eq!(
+            tx.delivered_at,
+            now + SimDuration::from_micros(12) + SimDuration::from_micros(10)
+        );
+        assert!(link.is_transmitting());
+        assert_eq!(link.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_link_queues_and_resumes() {
+        let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), cfg());
+        let now = SimTime::ZERO;
+        let first = link.offer(now, pkt(0)).unwrap();
+        assert!(first.is_some());
+        // Transmitter busy: next packet only queues.
+        assert!(link.offer(now, pkt(1)).unwrap().is_none());
+        assert_eq!(link.queue_len(), 1);
+        // When the first transmission completes, the queued packet starts.
+        let done = first.unwrap().transmit_done_at;
+        let second = link.on_transmit_complete(done).unwrap();
+        assert_eq!(second.packet.seq, 1);
+        assert_eq!(second.transmit_done_at, done + SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), cfg());
+        let now = SimTime::ZERO;
+        link.offer(now, pkt(0)).unwrap(); // on the wire
+        link.offer(now, pkt(1)).unwrap(); // queued
+        link.offer(now, pkt(2)).unwrap(); // queued (limit 2)
+        let dropped = link.offer(now, pkt(3));
+        assert!(dropped.is_err());
+        assert_eq!(link.queue_stats().dropped, 1);
+    }
+
+    #[test]
+    fn transmit_complete_with_empty_queue_goes_idle() {
+        let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), cfg());
+        let tx = link.offer(SimTime::ZERO, pkt(0)).unwrap().unwrap();
+        assert!(link.on_transmit_complete(tx.transmit_done_at).is_none());
+        assert!(!link.is_transmitting());
+    }
+
+    #[test]
+    fn utilisation_accounts_busy_time() {
+        let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), cfg());
+        let tx = link.offer(SimTime::ZERO, pkt(0)).unwrap().unwrap();
+        link.on_transmit_complete(tx.transmit_done_at);
+        // One 12 us transmission in 24 us of elapsed time = 50 %.
+        let u = link.utilisation(SimDuration::from_micros(24));
+        assert!((u - 0.5).abs() < 1e-9, "utilisation {u}");
+        assert_eq!(link.stats().tx_packets, 1);
+        assert_eq!(link.stats().tx_bytes, 1500);
+    }
+}

@@ -1,0 +1,260 @@
+//! The simulator's packet ("wire format").
+//!
+//! Rather than serialising real byte-level headers, the simulator carries a
+//! structured [`Packet`] with the fields that the data-centre transports under
+//! study need: a 5-tuple for ECMP hashing, subflow-level sequence/ack numbers,
+//! MPTCP-style connection-level data sequence numbers, and ECN codepoints for
+//! the DCTCP extension. This mirrors how ns-3 headers are used by the paper's
+//! models while keeping the hot path allocation-free.
+
+use crate::ids::{Addr, FlowId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Nominal size of a TCP/IP header in bytes (IPv4 20 + TCP 20 + options 14),
+/// matching the common ns-3 configuration used in data-centre studies.
+pub const HEADER_BYTES: u32 = 54;
+
+/// Default maximum segment size in bytes (Ethernet MTU 1500 minus headers,
+/// rounded to the traditional 1400 used by the authors' ns-3 MPTCP model).
+pub const DEFAULT_MSS: u32 = 1400;
+
+/// What kind of segment this packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Connection/subflow establishment request.
+    Syn,
+    /// Establishment response.
+    SynAck,
+    /// A data-bearing segment.
+    Data,
+    /// A pure acknowledgement.
+    Ack,
+    /// Sender has no more data (carries the final sequence number).
+    Fin,
+    /// Acknowledgement of a `Fin`.
+    FinAck,
+}
+
+/// Explicit Congestion Notification codepoint carried by the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Ecn {
+    /// Transport is not ECN-capable for this packet.
+    #[default]
+    NotCapable,
+    /// ECN-capable transport, not marked.
+    Capable,
+    /// Congestion experienced — set by a switch whose queue exceeded its
+    /// marking threshold (DCTCP-style).
+    CongestionExperienced,
+}
+
+/// A simulated packet.
+///
+/// `Copy` is intentionally not derived (the struct is ~100 bytes); it is moved
+/// through queues and events by value and never heap-allocates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Source host address.
+    pub src: Addr,
+    /// Destination host address.
+    pub dst: Addr,
+    /// Source (ephemeral) port. MMPTCP's packet-scatter phase randomises this
+    /// per packet so hash-based ECMP sprays packets over all paths.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Connection identifier. All subflows of an MPTCP/MMPTCP connection share
+    /// this id; receivers demultiplex on it.
+    pub flow: FlowId,
+    /// Subflow index within the connection (0 for single-path TCP and for the
+    /// packet-scatter flow).
+    pub subflow: u8,
+    /// Segment kind.
+    pub kind: PacketKind,
+    /// Subflow-level sequence number (byte offset of the first payload byte).
+    pub seq: u64,
+    /// Subflow-level cumulative acknowledgement (next expected byte).
+    pub ack: u64,
+    /// Connection-level data sequence number (MPTCP DSS mapping). For plain
+    /// TCP this equals `seq`.
+    pub data_seq: u64,
+    /// Connection-level cumulative data acknowledgement.
+    pub data_ack: u64,
+    /// Application payload length in bytes carried by this segment.
+    pub payload: u32,
+    /// Duplicate-SACK style hint: set on an ACK that re-acknowledges data the
+    /// receiver had already received (used by reordering-robust policies).
+    pub dup_hint: bool,
+    /// ECN codepoint (set by switches when marking).
+    pub ecn: Ecn,
+    /// ECN-echo flag on ACKs (receiver -> sender congestion feedback).
+    pub ecn_echo: bool,
+    /// Time the packet was handed to the NIC by the sender; used for RTT
+    /// sampling (stands in for the TCP timestamp option).
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Total size of the packet on the wire, headers included.
+    pub fn wire_bytes(&self) -> u32 {
+        HEADER_BYTES + self.payload
+    }
+
+    /// Is this a pure control packet (no payload)?
+    pub fn is_control(&self) -> bool {
+        self.payload == 0
+    }
+
+    /// The ECMP 5-tuple hashed by switches, as an ordered array.
+    pub fn ecmp_tuple(&self) -> [u64; 4] {
+        [
+            self.src.0 as u64,
+            self.dst.0 as u64,
+            ((self.src_port as u64) << 16) | self.dst_port as u64,
+            self.flow.0 & 0, // protocol field placeholder; constant so it never skews the hash
+        ]
+    }
+
+    /// Builder-style constructor for a data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        flow: FlowId,
+        subflow: u8,
+        seq: u64,
+        data_seq: u64,
+        payload: u32,
+        now: SimTime,
+    ) -> Self {
+        Packet {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            flow,
+            subflow,
+            kind: PacketKind::Data,
+            seq,
+            ack: 0,
+            data_seq,
+            data_ack: 0,
+            payload,
+            dup_hint: false,
+            ecn: Ecn::NotCapable,
+            ecn_echo: false,
+            sent_at: now,
+        }
+    }
+
+    /// Builder-style constructor for a pure ACK travelling back to the sender.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ack(
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        flow: FlowId,
+        subflow: u8,
+        ack: u64,
+        data_ack: u64,
+        now: SimTime,
+    ) -> Self {
+        Packet {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            flow,
+            subflow,
+            kind: PacketKind::Ack,
+            seq: 0,
+            ack,
+            data_seq: 0,
+            data_ack,
+            payload: 0,
+            dup_hint: false,
+            ecn: Ecn::NotCapable,
+            ecn_echo: false,
+            sent_at: now,
+        }
+    }
+
+    /// Reverse the direction of this packet's addressing (convenience for
+    /// constructing replies in tests).
+    pub fn reply_template(&self) -> Packet {
+        let mut p = self.clone();
+        core::mem::swap(&mut p.src, &mut p.dst);
+        core::mem::swap(&mut p.src_port, &mut p.dst_port);
+        p.payload = 0;
+        p.kind = PacketKind::Ack;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::data(
+            Addr(1),
+            Addr(2),
+            50_000,
+            80,
+            FlowId(9),
+            0,
+            1400,
+            1400,
+            1400,
+            SimTime::from_millis(1),
+        )
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = sample();
+        assert_eq!(p.wire_bytes(), 1400 + HEADER_BYTES);
+        assert!(!p.is_control());
+        let a = Packet::ack(
+            Addr(2),
+            Addr(1),
+            80,
+            50_000,
+            FlowId(9),
+            0,
+            2800,
+            2800,
+            SimTime::ZERO,
+        );
+        assert_eq!(a.wire_bytes(), HEADER_BYTES);
+        assert!(a.is_control());
+    }
+
+    #[test]
+    fn ecmp_tuple_depends_on_ports() {
+        let p = sample();
+        let mut q = sample();
+        q.src_port = 50_001;
+        assert_ne!(p.ecmp_tuple(), q.ecmp_tuple());
+    }
+
+    #[test]
+    fn reply_template_swaps_direction() {
+        let p = sample();
+        let r = p.reply_template();
+        assert_eq!(r.src, p.dst);
+        assert_eq!(r.dst, p.src);
+        assert_eq!(r.src_port, p.dst_port);
+        assert_eq!(r.dst_port, p.src_port);
+        assert_eq!(r.payload, 0);
+    }
+
+    #[test]
+    fn default_ecn_is_not_capable() {
+        assert_eq!(Ecn::default(), Ecn::NotCapable);
+    }
+}

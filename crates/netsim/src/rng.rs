@@ -1,0 +1,187 @@
+//! Deterministic random number generation for the simulator.
+//!
+//! Every source of randomness in an experiment — ECMP hash salts, MMPTCP
+//! source-port draws, Poisson inter-arrival times, permutation shuffles —
+//! derives from a single seeded generator so a given seed always reproduces
+//! the exact same packet-level schedule.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The simulator's random number generator.
+///
+/// A thin wrapper around a fast, seedable PRNG with a few convenience
+/// helpers used by the network and transport code. Deliberately not
+/// cryptographic — determinism and speed are what matter here.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child generator. Useful for giving workload
+    /// generation and packet-level randomness separate streams so adding
+    /// flows does not perturb ECMP decisions of existing ones.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix the label in so forks with different labels are decorrelated
+        // even when requested back-to-back.
+        let s = self
+            .inner
+            .next_u64()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(label.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        SimRng::new(s)
+    }
+
+    /// Uniform sample from a range, e.g. `rng.range(0..n)`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// An exponentially distributed sample with the given mean.
+    ///
+    /// Used for Poisson arrival processes: inter-arrival times of a Poisson
+    /// process with rate λ are Exp(mean = 1/λ).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1], avoids ln(0)
+        -mean * u.ln()
+    }
+
+    /// A uniformly random ephemeral (source) port in the 49152..=65535 range.
+    pub fn ephemeral_port(&mut self) -> u16 {
+        self.inner.gen_range(49152..=65535u16)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A raw 64-bit draw (e.g. for hash salts).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_decorrelated() {
+        let mut parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut p = SimRng::new(7);
+        let mut a = p.fork(1);
+        let mut b = p.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.2,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn ephemeral_ports_in_range() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..1000 {
+            let p = rng.ephemeral_port();
+            assert!(p >= 49152);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0 + 1e-9));
+    }
+}

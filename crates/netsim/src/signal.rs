@@ -1,0 +1,160 @@
+//! Out-of-band signals emitted by transport agents towards the experiment
+//! harness (flow lifecycle, retransmission timeouts, phase switches, …).
+//!
+//! Signals are the simulator's measurement plane: the metrics crate consumes
+//! them to compute flow completion times, RTO counts and phase statistics
+//! without the transports having to know anything about the experiment.
+
+use crate::ids::FlowId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An event of interest to the experiment harness / metrics pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Signal {
+    /// A sender began transmitting its first segment.
+    FlowStarted {
+        /// The flow.
+        flow: FlowId,
+        /// When it started.
+        at: SimTime,
+        /// Total bytes the application wants to transfer (`u64::MAX` for
+        /// unbounded background flows).
+        bytes: u64,
+    },
+    /// A receiver has received (and acknowledged) every byte of the flow.
+    FlowCompleted {
+        /// The flow.
+        flow: FlowId,
+        /// When the last byte was received.
+        at: SimTime,
+        /// Bytes delivered.
+        bytes: u64,
+    },
+    /// A retransmission timeout fired at the sender.
+    RetransmissionTimeout {
+        /// The flow.
+        flow: FlowId,
+        /// Subflow on which the timeout occurred.
+        subflow: u8,
+        /// When it fired.
+        at: SimTime,
+    },
+    /// A fast retransmission was triggered at the sender.
+    FastRetransmit {
+        /// The flow.
+        flow: FlowId,
+        /// Subflow on which it occurred.
+        subflow: u8,
+        /// When.
+        at: SimTime,
+    },
+    /// An MMPTCP connection switched from the packet-scatter phase to the
+    /// MPTCP phase.
+    PhaseSwitched {
+        /// The flow.
+        flow: FlowId,
+        /// When the switch happened.
+        at: SimTime,
+        /// Connection-level bytes acknowledged at the moment of switching.
+        bytes_sent: u64,
+    },
+    /// Progress report from a long-running (background) flow, emitted when the
+    /// experiment ends so throughput can be computed for unbounded flows.
+    FlowProgress {
+        /// The flow.
+        flow: FlowId,
+        /// When the report was taken.
+        at: SimTime,
+        /// Bytes delivered so far.
+        bytes: u64,
+    },
+    /// A spurious retransmission was detected (the "lost" segment had in fact
+    /// been delivered — the hazard of packet scatter reordering).
+    SpuriousRetransmit {
+        /// The flow.
+        flow: FlowId,
+        /// Subflow.
+        subflow: u8,
+        /// When it was detected.
+        at: SimTime,
+    },
+}
+
+impl Signal {
+    /// The flow this signal refers to.
+    pub fn flow(&self) -> FlowId {
+        match self {
+            Signal::FlowStarted { flow, .. }
+            | Signal::FlowCompleted { flow, .. }
+            | Signal::RetransmissionTimeout { flow, .. }
+            | Signal::FastRetransmit { flow, .. }
+            | Signal::PhaseSwitched { flow, .. }
+            | Signal::FlowProgress { flow, .. }
+            | Signal::SpuriousRetransmit { flow, .. } => *flow,
+        }
+    }
+
+    /// The simulated time at which the signal was emitted.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Signal::FlowStarted { at, .. }
+            | Signal::FlowCompleted { at, .. }
+            | Signal::RetransmissionTimeout { at, .. }
+            | Signal::FastRetransmit { at, .. }
+            | Signal::PhaseSwitched { at, .. }
+            | Signal::FlowProgress { at, .. }
+            | Signal::SpuriousRetransmit { at, .. } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let signals = vec![
+            Signal::FlowStarted {
+                flow: FlowId(1),
+                at: SimTime::from_millis(1),
+                bytes: 70_000,
+            },
+            Signal::FlowCompleted {
+                flow: FlowId(2),
+                at: SimTime::from_millis(2),
+                bytes: 70_000,
+            },
+            Signal::RetransmissionTimeout {
+                flow: FlowId(3),
+                subflow: 1,
+                at: SimTime::from_millis(3),
+            },
+            Signal::FastRetransmit {
+                flow: FlowId(4),
+                subflow: 0,
+                at: SimTime::from_millis(4),
+            },
+            Signal::PhaseSwitched {
+                flow: FlowId(5),
+                at: SimTime::from_millis(5),
+                bytes_sent: 100_000,
+            },
+            Signal::FlowProgress {
+                flow: FlowId(6),
+                at: SimTime::from_millis(6),
+                bytes: 1,
+            },
+            Signal::SpuriousRetransmit {
+                flow: FlowId(7),
+                subflow: 0,
+                at: SimTime::from_millis(7),
+            },
+        ];
+        for (i, s) in signals.iter().enumerate() {
+            assert_eq!(s.flow(), FlowId(i as u64 + 1));
+            assert_eq!(s.at(), SimTime::from_millis(i as u64 + 1));
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns the network graph, the event calendar, the clock and
+//! the deterministic RNG. It advances by popping the earliest event and
+//! dispatching it: packet deliveries to switches (which forward) or hosts
+//! (which hand them to transport agents), transmit-complete notifications to
+//! links, and timers / start requests to agents.
+
+use crate::agent::{Agent, AgentCtx, AgentEvent};
+use crate::event::{Event, EventQueue};
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::network::Network;
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::signal::Signal;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Engine-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Events processed so far.
+    pub events_processed: u64,
+    /// Packets delivered to host agents.
+    pub delivered_to_hosts: u64,
+    /// Packets forwarded by switches.
+    pub forwarded: u64,
+    /// Packets dropped anywhere (full queues or unroutable).
+    pub dropped: u64,
+    /// Packets a host could not send because it has no uplink.
+    pub unsendable: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    network: Network,
+    queue: EventQueue,
+    now: SimTime,
+    rng: SimRng,
+    signals: Vec<Signal>,
+    counters: SimCounters,
+    stopped: bool,
+    // Reusable scratch buffers for agent activations (avoids per-event allocation).
+    scratch_out: Vec<Packet>,
+    scratch_timers: Vec<(SimTime, u64)>,
+}
+
+impl Simulator {
+    /// Create a simulator over a finished network graph.
+    pub fn new(network: Network, seed: u64) -> Self {
+        Simulator {
+            network,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            signals: Vec::new(),
+            counters: SimCounters::default(),
+            stopped: false,
+            scratch_out: Vec::with_capacity(64),
+            scratch_timers: Vec::with_capacity(16),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The network graph (read access).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The network graph (mutable access, e.g. for installing agents during
+    /// set-up or inspecting statistics afterwards).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// The simulator's RNG (for workload generation that wants to share the
+    /// experiment seed).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Engine counters.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
+    /// Signals emitted so far (without draining them).
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Remove and return all signals emitted so far.
+    pub fn drain_signals(&mut self) -> Vec<Signal> {
+        std::mem::take(&mut self.signals)
+    }
+
+    /// Install `agent` for `flow` on host `host`.
+    pub fn register_agent(&mut self, host: NodeId, flow: FlowId, agent: Box<dyn Agent>) {
+        self.network.host_mut(host).register_agent(flow, agent);
+    }
+
+    /// Schedule agent `flow` on `host` to receive [`AgentEvent::Start`] at `at`.
+    pub fn schedule_flow_start(&mut self, at: SimTime, host: NodeId, flow: FlowId) {
+        self.queue.schedule(at, Event::FlowStart { node: host, flow });
+    }
+
+    /// Schedule the simulation to stop at `at` (events after `at` remain in
+    /// the calendar but will not be processed by [`Simulator::run`]).
+    pub fn schedule_stop(&mut self, at: SimTime) {
+        self.queue.schedule(at, Event::Stop);
+    }
+
+    /// Number of events waiting in the calendar.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a `Stop` event has been processed.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Process a single event. Returns `false` when the calendar is empty or a
+    /// stop event was processed.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.now = at;
+        self.counters.events_processed += 1;
+        match event {
+            Event::Delivery { link, packet } => self.handle_delivery(link, packet),
+            Event::TransmitComplete { link } => self.handle_transmit_complete(link),
+            Event::AgentTimer { node, flow, token } => {
+                self.dispatch_agent(node, flow, AgentEvent::Timer(token));
+            }
+            Event::FlowStart { node, flow } => {
+                self.dispatch_agent(node, flow, AgentEvent::Start);
+            }
+            Event::Stop => {
+                self.stopped = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run until the calendar is empty or a stop event fires.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulated time reaches `until` (inclusive of events at
+    /// exactly `until`), the calendar empties, or a stop event fires. The
+    /// clock is left at `until` if it was reached.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until || self.stopped {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        if !self.stopped && self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Send [`AgentEvent::Finalize`] to every agent on every host so they can
+    /// emit closing measurements (e.g. background-flow progress reports).
+    pub fn finalize(&mut self) {
+        let hosts: Vec<NodeId> = self.network.hosts().to_vec();
+        for host in hosts {
+            let flows = self
+                .network
+                .node(host)
+                .as_host()
+                .map(|h| h.agent_flows())
+                .unwrap_or_default();
+            for flow in flows {
+                self.dispatch_agent(host, flow, AgentEvent::Finalize);
+            }
+        }
+    }
+
+    /// Inject a packet directly at a host's NIC, as if an agent had sent it.
+    /// Primarily for tests and hand-crafted scenarios.
+    pub fn inject_from_host(&mut self, host: NodeId, packet: Packet) {
+        self.send_from_host(host, packet);
+    }
+
+    // --- event handlers -------------------------------------------------
+
+    fn handle_delivery(&mut self, link: LinkId, packet: Packet) {
+        let to = self.network.link(link).to;
+        if self.network.node(to).is_switch() {
+            let out = self.network.switch_mut(to).forward(&packet);
+            match out {
+                Some(next) => {
+                    self.counters.forwarded += 1;
+                    self.offer_to_link(next, packet);
+                }
+                None => {
+                    self.counters.dropped += 1;
+                }
+            }
+        } else {
+            self.counters.delivered_to_hosts += 1;
+            let flow = packet.flow;
+            self.with_agent_ctx(to, flow, |host, ctx| {
+                host.deliver(ctx, packet);
+            });
+        }
+    }
+
+    fn handle_transmit_complete(&mut self, link: LinkId) {
+        let started = self.network.link_mut(link).on_transmit_complete(self.now);
+        if let Some(tx) = started {
+            self.queue
+                .schedule(tx.transmit_done_at, Event::TransmitComplete { link });
+            self.queue.schedule(
+                tx.delivered_at,
+                Event::Delivery {
+                    link,
+                    packet: tx.packet,
+                },
+            );
+        }
+    }
+
+    fn dispatch_agent(&mut self, node: NodeId, flow: FlowId, event: AgentEvent) {
+        self.with_agent_ctx(node, flow, |host, ctx| {
+            host.dispatch(ctx, flow, event);
+        });
+    }
+
+    /// Run `f` with the host and a fresh agent context, then flush whatever
+    /// the agent produced (outgoing packets, timers) into the engine.
+    fn with_agent_ctx<F>(&mut self, node: NodeId, flow: FlowId, f: F)
+    where
+        F: FnOnce(&mut crate::host::Host, &mut AgentCtx<'_>),
+    {
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        out.clear();
+        timers.clear();
+        {
+            let host = self.network.host_mut(node);
+            let mut ctx = AgentCtx::new(
+                self.now,
+                flow,
+                &mut self.rng,
+                &mut out,
+                &mut timers,
+                &mut self.signals,
+            );
+            f(host, &mut ctx);
+        }
+        for packet in out.drain(..) {
+            self.send_from_host(node, packet);
+        }
+        for (at, token) in timers.drain(..) {
+            self.queue
+                .schedule(at, Event::AgentTimer { node, flow, token });
+        }
+        self.scratch_out = out;
+        self.scratch_timers = timers;
+    }
+
+    fn send_from_host(&mut self, node: NodeId, packet: Packet) {
+        let uplink = self
+            .network
+            .node(node)
+            .as_host()
+            .and_then(|h| h.select_uplink(&packet));
+        match uplink {
+            Some(link) => self.offer_to_link(link, packet),
+            None => {
+                self.counters.unsendable += 1;
+            }
+        }
+    }
+
+    fn offer_to_link(&mut self, link: LinkId, packet: Packet) {
+        let now = self.now;
+        let result = self.network.link_mut(link).offer(now, packet);
+        match result {
+            Ok(Some(tx)) => {
+                self.queue
+                    .schedule(tx.transmit_done_at, Event::TransmitComplete { link });
+                self.queue.schedule(
+                    tx.delivered_at,
+                    Event::Delivery {
+                        link,
+                        packet: tx.packet,
+                    },
+                );
+            }
+            Ok(None) => {}
+            Err(_) => {
+                self.counters.dropped += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("counters", &self.counters)
+            .field("nodes", &self.network.node_count())
+            .field("links", &self.network.link_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Addr;
+    use crate::link::LinkConfig;
+    use crate::packet::{Packet, PacketKind};
+    use crate::switch::SwitchLayer;
+    use crate::time::SimDuration;
+
+    /// Minimal stop-and-wait sender used to exercise the engine end to end.
+    struct StopAndWaitSender {
+        src: Addr,
+        dst: Addr,
+        flow: FlowId,
+        segments_left: u32,
+        seq: u64,
+        payload: u32,
+    }
+
+    impl Agent for StopAndWaitSender {
+        fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+            match event {
+                AgentEvent::Start => {
+                    ctx.signal(Signal::FlowStarted {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: (self.segments_left * self.payload) as u64,
+                    });
+                    self.send_next(ctx);
+                }
+                AgentEvent::Packet(p) if p.kind == PacketKind::Ack => {
+                    self.segments_left -= 1;
+                    if self.segments_left == 0 {
+                        ctx.signal(Signal::FlowCompleted {
+                            flow: self.flow,
+                            at: ctx.now(),
+                            bytes: self.seq,
+                        });
+                    } else {
+                        self.send_next(ctx);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    impl StopAndWaitSender {
+        fn send_next(&mut self, ctx: &mut AgentCtx<'_>) {
+            let pkt = Packet::data(
+                self.src,
+                self.dst,
+                50_000,
+                80,
+                self.flow,
+                0,
+                self.seq,
+                self.seq,
+                self.payload,
+                ctx.now(),
+            );
+            self.seq += self.payload as u64;
+            ctx.send(pkt);
+        }
+    }
+
+    /// Receiver that ACKs every data packet.
+    struct AckEverything;
+    impl Agent for AckEverything {
+        fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+            if let AgentEvent::Packet(p) = event {
+                if p.kind == PacketKind::Data {
+                    let mut ack = p.reply_template();
+                    ack.ack = p.seq + p.payload as u64;
+                    ack.sent_at = ctx.now();
+                    ctx.send(ack);
+                }
+            }
+        }
+    }
+
+    fn two_host_network() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let h0 = net.add_host();
+        let h1 = net.add_host();
+        let sw = net.add_switch(SwitchLayer::Edge, 2);
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000_000,
+            delay: SimDuration::from_micros(10),
+            ..LinkConfig::default()
+        };
+        let (_h0_up, h0_down) = net.add_duplex_link(h0, sw, cfg);
+        let (_h1_up, h1_down) = net.add_duplex_link(h1, sw, cfg);
+        // Switch routes: to host 0 via its downlink, to host 1 likewise.
+        let sw_ref = net.switch_mut(sw);
+        let g0 = sw_ref.add_group(vec![h0_down]);
+        let g1 = sw_ref.add_group(vec![h1_down]);
+        sw_ref.set_route(Addr(0), g0);
+        sw_ref.set_route(Addr(1), g1);
+        (net, h0, h1)
+    }
+
+    fn run_transfer(segments: u32) -> (Simulator, Vec<Signal>) {
+        let (net, h0, h1) = two_host_network();
+        let mut sim = Simulator::new(net, 7);
+        let flow = FlowId(1);
+        sim.register_agent(
+            h0,
+            flow,
+            Box::new(StopAndWaitSender {
+                src: Addr(0),
+                dst: Addr(1),
+                flow,
+                segments_left: segments,
+                seq: 0,
+                payload: 1400,
+            }),
+        );
+        sim.register_agent(h1, flow, Box::new(AckEverything));
+        sim.schedule_flow_start(SimTime::from_millis(1), h0, flow);
+        sim.run();
+        let signals = sim.drain_signals();
+        (sim, signals)
+    }
+
+    #[test]
+    fn end_to_end_stop_and_wait_transfer() {
+        let (sim, signals) = run_transfer(10);
+        let completed = signals
+            .iter()
+            .find(|s| matches!(s, Signal::FlowCompleted { .. }))
+            .expect("flow should complete");
+        assert_eq!(completed.flow(), FlowId(1));
+        // 10 data packets and 10 ACKs delivered to hosts.
+        assert_eq!(sim.counters().delivered_to_hosts, 20);
+        // Every packet traversed exactly one switch.
+        assert_eq!(sim.counters().forwarded, 20);
+        assert_eq!(sim.counters().dropped, 0);
+    }
+
+    #[test]
+    fn stop_and_wait_latency_matches_analysis() {
+        // One segment: data (1454B wire) + ACK (54B) over two 1 Gbps hops with
+        // 10 us propagation each. Completion time relative to start:
+        //   data: 2 * (tx 11.632us + prop 10us)  [store-and-forward]
+        //   ack:  2 * (tx 0.432us + prop 10us)
+        let (_, signals) = run_transfer(1);
+        let start = signals
+            .iter()
+            .find_map(|s| match s {
+                Signal::FlowStarted { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        let done = signals
+            .iter()
+            .find_map(|s| match s {
+                Signal::FlowCompleted { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        let elapsed = done - start;
+        let data_wire = (1400 + crate::packet::HEADER_BYTES) as u64;
+        let ack_wire = crate::packet::HEADER_BYTES as u64;
+        let expected = SimDuration::transmission(data_wire, 1_000_000_000) * 2
+            + SimDuration::transmission(ack_wire, 1_000_000_000) * 2
+            + SimDuration::from_micros(10) * 4;
+        assert_eq!(elapsed, expected, "elapsed {elapsed} expected {expected}");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let (sim_a, sig_a) = run_transfer(25);
+        let (sim_b, sig_b) = run_transfer(25);
+        assert_eq!(sig_a, sig_b);
+        assert_eq!(sim_a.counters(), sim_b.counters());
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let (net, h0, h1) = two_host_network();
+        let mut sim = Simulator::new(net, 7);
+        let flow = FlowId(1);
+        sim.register_agent(
+            h0,
+            flow,
+            Box::new(StopAndWaitSender {
+                src: Addr(0),
+                dst: Addr(1),
+                flow,
+                segments_left: 1000,
+                seq: 0,
+                payload: 1400,
+            }),
+        );
+        sim.register_agent(h1, flow, Box::new(AckEverything));
+        sim.schedule_flow_start(SimTime::from_millis(1), h0, flow);
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+        assert!(sim.pending_events() > 0, "transfer should still be running");
+    }
+
+    #[test]
+    fn stop_event_halts_the_run() {
+        let (net, h0, h1) = two_host_network();
+        let mut sim = Simulator::new(net, 7);
+        let flow = FlowId(1);
+        sim.register_agent(
+            h0,
+            flow,
+            Box::new(StopAndWaitSender {
+                src: Addr(0),
+                dst: Addr(1),
+                flow,
+                segments_left: 100_000,
+                seq: 0,
+                payload: 1400,
+            }),
+        );
+        sim.register_agent(h1, flow, Box::new(AckEverything));
+        sim.schedule_flow_start(SimTime::from_millis(1), h0, flow);
+        sim.schedule_stop(SimTime::from_millis(5));
+        sim.run();
+        assert!(sim.is_stopped());
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn finalize_reaches_agents() {
+        struct FinalizeProbe;
+        impl Agent for FinalizeProbe {
+            fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+                if matches!(event, AgentEvent::Finalize) {
+                    ctx.signal(Signal::FlowProgress {
+                        flow: ctx.flow(),
+                        at: ctx.now(),
+                        bytes: 42,
+                    });
+                }
+            }
+        }
+        let (net, h0, _h1) = two_host_network();
+        let mut sim = Simulator::new(net, 1);
+        sim.register_agent(h0, FlowId(9), Box::new(FinalizeProbe));
+        sim.finalize();
+        let signals = sim.drain_signals();
+        assert_eq!(signals.len(), 1);
+        assert!(matches!(signals[0], Signal::FlowProgress { bytes: 42, .. }));
+    }
+
+    #[test]
+    fn unsendable_packets_are_counted() {
+        let mut net = Network::new();
+        let h0 = net.add_host(); // no uplink
+        let mut sim = Simulator::new(net, 1);
+        let pkt = Packet::data(
+            Addr(0),
+            Addr(0),
+            1,
+            2,
+            FlowId(1),
+            0,
+            0,
+            0,
+            10,
+            SimTime::ZERO,
+        );
+        sim.inject_from_host(h0, pkt);
+        assert_eq!(sim.counters().unsendable, 1);
+    }
+}

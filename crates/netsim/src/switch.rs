@@ -1,0 +1,233 @@
+//! Output-queued switches with hash-based ECMP forwarding.
+//!
+//! A switch owns a routing table mapping destination hosts to *groups* of
+//! equal-cost output links. Forwarding a packet selects a group by destination
+//! and a member link by ECMP hash. Drops are counted per switch so the metrics
+//! crate can report per-layer (core / aggregation / edge) loss rates, one of
+//! the quantities the paper reports in its §3 text.
+
+use crate::ecmp;
+use crate::ids::{Addr, LinkId, NodeId};
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// Which tier of the data-centre fabric a switch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchLayer {
+    /// Top-of-rack / edge switches directly connected to hosts.
+    Edge,
+    /// Aggregation (pod) switches.
+    Aggregation,
+    /// Core switches.
+    Core,
+}
+
+impl SwitchLayer {
+    /// Stable index used by per-layer statistics arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SwitchLayer::Edge => 0,
+            SwitchLayer::Aggregation => 1,
+            SwitchLayer::Core => 2,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchLayer::Edge => "edge",
+            SwitchLayer::Aggregation => "aggregation",
+            SwitchLayer::Core => "core",
+        }
+    }
+}
+
+/// Per-switch forwarding counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Packets forwarded to an output queue (whether or not the queue
+    /// subsequently dropped them).
+    pub forwarded: u64,
+    /// Packets with no route (should not happen on a well-formed topology;
+    /// counted rather than panicking so malformed experiments are visible).
+    pub no_route: u64,
+}
+
+/// An output-queued switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    /// This switch's node id.
+    pub id: NodeId,
+    /// The fabric tier this switch belongs to.
+    pub layer: SwitchLayer,
+    /// ECMP hash salt (models per-switch hash seed diversity).
+    pub ecmp_salt: u64,
+    /// For each destination host address (dense index), which next-hop group
+    /// to use. `u16::MAX` means "no route".
+    table: Vec<u16>,
+    /// Next-hop groups: each is a non-empty set of equal-cost output links.
+    groups: Vec<Vec<LinkId>>,
+    stats: SwitchStats,
+}
+
+/// Sentinel meaning "destination not in the table".
+const NO_ROUTE: u16 = u16::MAX;
+
+impl Switch {
+    /// Create a switch with an empty routing table sized for `num_hosts`
+    /// destinations.
+    pub fn new(id: NodeId, layer: SwitchLayer, num_hosts: usize, ecmp_salt: u64) -> Self {
+        Switch {
+            id,
+            layer,
+            ecmp_salt,
+            table: vec![NO_ROUTE; num_hosts],
+            groups: Vec::new(),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Register a next-hop group (a set of equal-cost output links) and return
+    /// its index for use with [`Switch::set_route`].
+    pub fn add_group(&mut self, links: Vec<LinkId>) -> u16 {
+        assert!(!links.is_empty(), "next-hop group must not be empty");
+        assert!(
+            self.groups.len() < NO_ROUTE as usize,
+            "too many next-hop groups"
+        );
+        self.groups.push(links);
+        (self.groups.len() - 1) as u16
+    }
+
+    /// Route destination `dst` through group `group`.
+    pub fn set_route(&mut self, dst: Addr, group: u16) {
+        assert!((group as usize) < self.groups.len(), "unknown group");
+        let idx = dst.index();
+        assert!(idx < self.table.len(), "destination out of range");
+        self.table[idx] = group;
+    }
+
+    /// Number of equal-cost next hops towards `dst` (0 if unreachable).
+    pub fn path_count(&self, dst: Addr) -> usize {
+        match self.table.get(dst.index()) {
+            Some(&g) if g != NO_ROUTE => self.groups[g as usize].len(),
+            _ => 0,
+        }
+    }
+
+    /// Choose the output link for `packet` using hash-based ECMP.
+    ///
+    /// Returns `None` (and counts it) if the destination has no route.
+    pub fn forward(&mut self, packet: &Packet) -> Option<LinkId> {
+        let group = match self.table.get(packet.dst.index()) {
+            Some(&g) if g != NO_ROUTE => &self.groups[g as usize],
+            _ => {
+                self.stats.no_route += 1;
+                return None;
+            }
+        };
+        let choice = ecmp::select(packet, self.ecmp_salt, group.len());
+        self.stats.forwarded += 1;
+        Some(group[choice])
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// All next-hop groups (used by topology tests to check invariants).
+    pub fn groups(&self) -> &[Vec<LinkId>] {
+        &self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::time::SimTime;
+
+    fn pkt(dst: u32, src_port: u16) -> Packet {
+        Packet::data(
+            Addr(0),
+            Addr(dst),
+            src_port,
+            80,
+            FlowId(1),
+            0,
+            0,
+            0,
+            1400,
+            SimTime::ZERO,
+        )
+    }
+
+    fn switch_with_two_groups() -> Switch {
+        let mut sw = Switch::new(NodeId(10), SwitchLayer::Edge, 4, 99);
+        let up = sw.add_group(vec![LinkId(0), LinkId(1), LinkId(2), LinkId(3)]);
+        let down = sw.add_group(vec![LinkId(7)]);
+        sw.set_route(Addr(0), down);
+        sw.set_route(Addr(1), up);
+        sw.set_route(Addr(2), up);
+        sw
+    }
+
+    #[test]
+    fn forwards_by_destination() {
+        let mut sw = switch_with_two_groups();
+        assert_eq!(sw.forward(&pkt(0, 50_000)), Some(LinkId(7)));
+        let up_choice = sw.forward(&pkt(1, 50_000)).unwrap();
+        assert!([LinkId(0), LinkId(1), LinkId(2), LinkId(3)].contains(&up_choice));
+        assert_eq!(sw.stats().forwarded, 2);
+    }
+
+    #[test]
+    fn unknown_destination_counts_no_route() {
+        let mut sw = switch_with_two_groups();
+        assert_eq!(sw.forward(&pkt(3, 50_000)), None);
+        assert_eq!(sw.stats().no_route, 1);
+    }
+
+    #[test]
+    fn same_flow_is_pinned_to_one_path() {
+        let mut sw = switch_with_two_groups();
+        let first = sw.forward(&pkt(1, 51_111)).unwrap();
+        for _ in 0..50 {
+            assert_eq!(sw.forward(&pkt(1, 51_111)).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn varying_source_port_uses_multiple_paths() {
+        let mut sw = switch_with_two_groups();
+        let mut seen = std::collections::HashSet::new();
+        for port in 49152..49152 + 256 {
+            seen.insert(sw.forward(&pkt(1, port)).unwrap());
+        }
+        assert_eq!(seen.len(), 4, "all four uplinks should be exercised");
+    }
+
+    #[test]
+    fn path_count_reports_group_size() {
+        let sw = switch_with_two_groups();
+        assert_eq!(sw.path_count(Addr(1)), 4);
+        assert_eq!(sw.path_count(Addr(0)), 1);
+        assert_eq!(sw.path_count(Addr(3)), 0);
+    }
+
+    #[test]
+    fn layer_indices_are_stable() {
+        assert_eq!(SwitchLayer::Edge.index(), 0);
+        assert_eq!(SwitchLayer::Aggregation.index(), 1);
+        assert_eq!(SwitchLayer::Core.index(), 2);
+        assert_eq!(SwitchLayer::Core.name(), "core");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_group_rejected() {
+        let mut sw = Switch::new(NodeId(0), SwitchLayer::Core, 1, 0);
+        sw.add_group(vec![]);
+    }
+}

@@ -1,0 +1,222 @@
+//! FatTree structured addressing.
+//!
+//! The paper (§2, "Packet Scatter Phase") proposes that end hosts derive the
+//! number of available paths towards a destination from *topology-specific
+//! information*: "FatTree's IP addressing scheme can be exploited to calculate
+//! the number of available paths between the sender and receiver". This module
+//! implements that scheme: it maps the simulator's flat host addresses to the
+//! classic FatTree dotted address `10.pod.edge.host` and back, and answers the
+//! path-count question directly from two addresses, without consulting any
+//! central routing state — exactly what an MMPTCP sender needs at connection
+//! set-up time.
+
+use crate::fattree::FatTreeConfig;
+use netsim::Addr;
+use serde::{Deserialize, Serialize};
+
+/// The structured (pod, edge, host) coordinates of a FatTree host, mirroring
+/// the `10.pod.switch.id` addressing of the original FatTree paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FatTreeAddress {
+    /// Pod index in `0..k`.
+    pub pod: u16,
+    /// Edge switch index within the pod, in `0..k/2`.
+    pub edge: u16,
+    /// Host index under that edge switch, in `0..hosts_per_edge`.
+    pub host: u16,
+}
+
+/// Address arithmetic for a specific FatTree configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FatTreeAddressing {
+    k: usize,
+    hosts_per_edge: usize,
+}
+
+impl FatTreeAddressing {
+    /// Addressing for the given FatTree configuration.
+    pub fn new(config: &FatTreeConfig) -> Self {
+        FatTreeAddressing {
+            k: config.k,
+            hosts_per_edge: config.hosts_per_edge(),
+        }
+    }
+
+    /// Addressing from raw parameters (k and hosts per edge switch).
+    pub fn from_parts(k: usize, hosts_per_edge: usize) -> Self {
+        assert!(k >= 2 && k % 2 == 0);
+        assert!(hosts_per_edge >= 1);
+        FatTreeAddressing { k, hosts_per_edge }
+    }
+
+    /// Hosts attached to each pod.
+    pub fn hosts_per_pod(&self) -> usize {
+        self.hosts_per_edge * self.k / 2
+    }
+
+    /// Total number of hosts.
+    pub fn total_hosts(&self) -> usize {
+        self.hosts_per_pod() * self.k
+    }
+
+    /// Structured coordinates of a flat host address.
+    pub fn decompose(&self, addr: Addr) -> FatTreeAddress {
+        let idx = addr.index();
+        assert!(idx < self.total_hosts(), "address out of range");
+        let pod = idx / self.hosts_per_pod();
+        let within_pod = idx % self.hosts_per_pod();
+        FatTreeAddress {
+            pod: pod as u16,
+            edge: (within_pod / self.hosts_per_edge) as u16,
+            host: (within_pod % self.hosts_per_edge) as u16,
+        }
+    }
+
+    /// Flat host address of structured coordinates.
+    pub fn compose(&self, a: FatTreeAddress) -> Addr {
+        let idx = a.pod as usize * self.hosts_per_pod()
+            + a.edge as usize * self.hosts_per_edge
+            + a.host as usize;
+        assert!(idx < self.total_hosts(), "coordinates out of range");
+        Addr(idx as u32)
+    }
+
+    /// A dotted, FatTree-paper-style rendering (`10.pod.edge.host`).
+    pub fn dotted(&self, addr: Addr) -> String {
+        let a = self.decompose(addr);
+        format!("10.{}.{}.{}", a.pod, a.edge, a.host)
+    }
+
+    /// Do two hosts share an edge (top-of-rack) switch?
+    pub fn same_edge(&self, a: Addr, b: Addr) -> bool {
+        let (x, y) = (self.decompose(a), self.decompose(b));
+        x.pod == y.pod && x.edge == y.edge
+    }
+
+    /// Do two hosts share a pod?
+    pub fn same_pod(&self, a: Addr, b: Addr) -> bool {
+        self.decompose(a).pod == self.decompose(b).pod
+    }
+
+    /// The number of equal-cost paths between two hosts, computed purely from
+    /// their addresses (the paper's proposal for setting the scatter-phase
+    /// duplicate-ACK threshold):
+    ///
+    /// * same host: 1;
+    /// * same edge switch: 1 (through that switch);
+    /// * same pod, different edge: `k/2` (one per aggregation switch);
+    /// * different pods: `(k/2)²` (one per core switch).
+    pub fn path_count(&self, a: Addr, b: Addr) -> usize {
+        if a == b {
+            return 1;
+        }
+        let half = self.k / 2;
+        if self.same_edge(a, b) {
+            1
+        } else if self.same_pod(a, b) {
+            half
+        } else {
+            half * half
+        }
+    }
+
+    /// The duplicate-ACK threshold the paper's topology-aware policy would
+    /// install for a connection between `a` and `b` (never below the TCP
+    /// default of 3).
+    pub fn dupack_threshold(&self, a: Addr, b: Addr) -> u32 {
+        (self.path_count(a, b) as u32).max(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::built::PathModel;
+    use crate::fattree;
+
+    fn addressing_paper() -> FatTreeAddressing {
+        FatTreeAddressing::new(&FatTreeConfig::paper())
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let a = addressing_paper();
+        assert_eq!(a.total_hosts(), 512);
+        for idx in [0u32, 1, 15, 16, 63, 64, 500, 511] {
+            let coords = a.decompose(Addr(idx));
+            assert_eq!(a.compose(coords), Addr(idx));
+        }
+    }
+
+    #[test]
+    fn dotted_rendering_matches_structure() {
+        let a = FatTreeAddressing::from_parts(4, 2);
+        assert_eq!(a.dotted(Addr(0)), "10.0.0.0");
+        assert_eq!(a.dotted(Addr(1)), "10.0.0.1");
+        assert_eq!(a.dotted(Addr(2)), "10.0.1.0");
+        assert_eq!(a.dotted(Addr(4)), "10.1.0.0");
+        assert_eq!(a.dotted(Addr(15)), "10.3.1.1");
+    }
+
+    #[test]
+    fn path_counts_match_fattree_geometry() {
+        let a = addressing_paper(); // k = 8, 16 hosts/edge
+        // Same edge.
+        assert_eq!(a.path_count(Addr(0), Addr(15)), 1);
+        // Same pod, different edge.
+        assert_eq!(a.path_count(Addr(0), Addr(16)), 4);
+        // Different pods.
+        assert_eq!(a.path_count(Addr(0), Addr(128)), 16);
+        // Self.
+        assert_eq!(a.path_count(Addr(3), Addr(3)), 1);
+    }
+
+    #[test]
+    fn path_counts_agree_with_the_built_topology_model() {
+        // The address-derived count must agree with the PathModel that the
+        // builder attaches to the built topology, for every pair in a small
+        // tree — this is the property the paper's mechanism relies on.
+        let cfg = FatTreeConfig::small();
+        let topo = fattree::build(cfg);
+        let addressing = FatTreeAddressing::new(&cfg);
+        let model = PathModel::FatTree {
+            k: cfg.k,
+            hosts_per_edge: cfg.hosts_per_edge(),
+        };
+        for i in 0..topo.host_count() {
+            for j in 0..topo.host_count() {
+                let (a, b) = (Addr(i as u32), Addr(j as u32));
+                assert_eq!(
+                    addressing.path_count(a, b),
+                    model.path_count(a, b),
+                    "disagreement for {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dupack_threshold_floors_at_three() {
+        let a = FatTreeAddressing::from_parts(4, 2);
+        assert_eq!(a.dupack_threshold(Addr(0), Addr(1)), 3); // 1 path
+        assert_eq!(a.dupack_threshold(Addr(0), Addr(2)), 3); // 2 paths
+        assert_eq!(a.dupack_threshold(Addr(0), Addr(8)), 4); // 4 paths
+        let big = addressing_paper();
+        assert_eq!(big.dupack_threshold(Addr(0), Addr(128)), 16);
+    }
+
+    #[test]
+    fn same_pod_and_edge_predicates() {
+        let a = FatTreeAddressing::from_parts(4, 2);
+        assert!(a.same_edge(Addr(0), Addr(1)));
+        assert!(!a.same_edge(Addr(0), Addr(2)));
+        assert!(a.same_pod(Addr(0), Addr(3)));
+        assert!(!a.same_pod(Addr(0), Addr(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "address out of range")]
+    fn out_of_range_address_panics() {
+        FatTreeAddressing::from_parts(4, 2).decompose(Addr(16));
+    }
+}

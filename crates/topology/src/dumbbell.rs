@@ -1,0 +1,141 @@
+//! Dumbbell topology: two groups of hosts joined by a single bottleneck link.
+//!
+//! Not a data-centre fabric, but indispensable for validating transport
+//! behaviour (congestion-window dynamics, fairness, RTO behaviour) against
+//! textbook expectations before letting the protocols loose on a FatTree.
+
+use crate::built::{BuiltTopology, LinkTier, PathModel};
+use netsim::{Addr, LinkConfig, Network, QueueConfig, SimDuration, SwitchLayer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a dumbbell build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DumbbellConfig {
+    /// Hosts on each side.
+    pub hosts_per_side: usize,
+    /// Access link rate (host ↔ switch), bits/s.
+    pub access_rate_bps: u64,
+    /// Bottleneck link rate (switch ↔ switch), bits/s.
+    pub bottleneck_rate_bps: u64,
+    /// Propagation delay of access links.
+    pub access_delay: SimDuration,
+    /// Propagation delay of the bottleneck link.
+    pub bottleneck_delay: SimDuration,
+    /// Queue configuration (applied to all ports).
+    pub queue: QueueConfig,
+}
+
+impl Default for DumbbellConfig {
+    fn default() -> Self {
+        DumbbellConfig {
+            hosts_per_side: 2,
+            access_rate_bps: 1_000_000_000,
+            bottleneck_rate_bps: 1_000_000_000,
+            access_delay: SimDuration::from_micros(5),
+            bottleneck_delay: SimDuration::from_micros(5),
+            queue: QueueConfig::default(),
+        }
+    }
+}
+
+/// Build a dumbbell. Hosts `0..n` are on the left, `n..2n` on the right.
+pub fn build(config: DumbbellConfig) -> BuiltTopology {
+    assert!(config.hosts_per_side >= 1);
+    let n = config.hosts_per_side;
+    let num_hosts = 2 * n;
+
+    let access = LinkConfig {
+        rate_bps: config.access_rate_bps,
+        delay: config.access_delay,
+        queue: config.queue,
+    };
+    let bottleneck = LinkConfig {
+        rate_bps: config.bottleneck_rate_bps,
+        delay: config.bottleneck_delay,
+        queue: config.queue,
+    };
+
+    let mut net = Network::new();
+    let mut tiers = Vec::new();
+
+    let hosts: Vec<_> = (0..num_hosts).map(|_| net.add_host()).collect();
+    let left = net.add_switch(SwitchLayer::Edge, num_hosts);
+    let right = net.add_switch(SwitchLayer::Edge, num_hosts);
+
+    let mut downlinks = Vec::with_capacity(num_hosts);
+    for (i, &h) in hosts.iter().enumerate() {
+        let sw = if i < n { left } else { right };
+        let (_up, down) = net.add_duplex_link(h, sw, access);
+        tiers.push(LinkTier::HostEdge);
+        tiers.push(LinkTier::HostEdge);
+        downlinks.push(down);
+    }
+    let (lr, rl) = net.add_duplex_link(left, right, bottleneck);
+    tiers.push(LinkTier::Other);
+    tiers.push(LinkTier::Other);
+
+    // Routing.
+    {
+        let sw = net.switch_mut(left);
+        let cross = sw.add_group(vec![lr]);
+        for h in 0..num_hosts {
+            if h < n {
+                let g = sw.add_group(vec![downlinks[h]]);
+                sw.set_route(Addr(h as u32), g);
+            } else {
+                sw.set_route(Addr(h as u32), cross);
+            }
+        }
+    }
+    {
+        let sw = net.switch_mut(right);
+        let cross = sw.add_group(vec![rl]);
+        for h in 0..num_hosts {
+            if h >= n {
+                let g = sw.add_group(vec![downlinks[h]]);
+                sw.set_route(Addr(h as u32), g);
+            } else {
+                sw.set_route(Addr(h as u32), cross);
+            }
+        }
+    }
+
+    BuiltTopology {
+        network: net,
+        name: format!("dumbbell({n}x{n})"),
+        hosts,
+        link_tiers: tiers,
+        path_model: PathModel::Constant(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let t = build(DumbbellConfig::default());
+        assert_eq!(t.host_count(), 4);
+        assert_eq!(t.network.node_count(), 6);
+        // 4 access duplex + 1 bottleneck duplex = 10 unidirectional links.
+        assert_eq!(t.network.link_count(), 10);
+        assert_eq!(t.links_of_tier(LinkTier::Other).len(), 2);
+        assert_eq!(t.path_count(Addr(0), Addr(2)), 1);
+    }
+
+    #[test]
+    fn all_destinations_routable() {
+        let t = build(DumbbellConfig {
+            hosts_per_side: 3,
+            ..DumbbellConfig::default()
+        });
+        for node in t.network.nodes() {
+            if let Some(sw) = node.as_switch() {
+                for h in 0..t.host_count() {
+                    assert!(sw.path_count(Addr(h as u32)) >= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! k-ary FatTree topology with configurable over-subscription.
+//!
+//! The paper's evaluation topology is a FatTree of 512 servers with a 4:1
+//! over-subscription ratio: a k=8 FatTree normally hosts 128 servers (4 per
+//! edge switch); attaching 16 servers per edge switch instead yields 512
+//! servers whose aggregate access bandwidth exceeds the edge uplink capacity
+//! by 4:1 — exactly the contention regime in which long flows collide and
+//! short flows suffer.
+//!
+//! Structure of a k-ary FatTree (k even):
+//! * `k` pods;
+//! * `k/2` edge and `k/2` aggregation switches per pod;
+//! * `(k/2)²` core switches;
+//! * every edge switch connects to every aggregation switch in its pod;
+//! * aggregation switch `j` of every pod connects to core switches
+//!   `j·k/2 .. (j+1)·k/2`.
+//!
+//! Routing is the standard FatTree two-level scheme realised as ECMP groups:
+//! packets travel up (edge → aggregation → core) choosing among all equal-cost
+//! uplinks by 5-tuple hash, then down a deterministic path to the destination.
+
+use crate::built::{BuiltTopology, LinkTier, PathModel};
+use netsim::{Addr, LinkConfig, Network, NodeId, QueueConfig, SimDuration, SwitchLayer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a FatTree build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FatTreeConfig {
+    /// Arity `k` (must be even, ≥ 2). The tree has `k` pods.
+    pub k: usize,
+    /// Over-subscription ratio at the edge: each edge switch serves
+    /// `oversubscription · k/2` hosts. 1 gives the canonical re-arrangeably
+    /// non-blocking FatTree; the paper uses 4.
+    pub oversubscription: usize,
+    /// Link rate for host ↔ edge links, in bits/s.
+    pub host_rate_bps: u64,
+    /// Link rate for switch ↔ switch links, in bits/s.
+    pub fabric_rate_bps: u64,
+    /// One-way propagation delay of every link.
+    pub link_delay: SimDuration,
+    /// Output queue configuration applied to every port.
+    pub queue: QueueConfig,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> Self {
+        FatTreeConfig {
+            k: 4,
+            oversubscription: 1,
+            host_rate_bps: 1_000_000_000,
+            fabric_rate_bps: 1_000_000_000,
+            link_delay: SimDuration::from_micros(5),
+            queue: QueueConfig {
+                limit_packets: 100,
+                limit_bytes: None,
+                ecn_threshold_packets: None,
+            },
+        }
+    }
+}
+
+impl FatTreeConfig {
+    /// The paper's evaluation topology: k=8, 4:1 over-subscribed, 512 servers.
+    pub fn paper() -> Self {
+        FatTreeConfig {
+            k: 8,
+            oversubscription: 4,
+            ..FatTreeConfig::default()
+        }
+    }
+
+    /// A small 16-host FatTree (k=4, 1:1) for tests and examples.
+    pub fn small() -> Self {
+        FatTreeConfig::default()
+    }
+
+    /// A medium 128-host FatTree (k=8, 4:1 over-subscribed at a reduced
+    /// host count per edge) used as the default benchmark scale: k=4 pods
+    /// structure of the paper (same 4:1 contention) at laptop-friendly size.
+    pub fn benchmark() -> Self {
+        FatTreeConfig {
+            k: 4,
+            oversubscription: 4,
+            ..FatTreeConfig::default()
+        }
+    }
+
+    /// Hosts attached to each edge switch.
+    pub fn hosts_per_edge(&self) -> usize {
+        self.oversubscription * self.k / 2
+    }
+
+    /// Hosts per pod.
+    pub fn hosts_per_pod(&self) -> usize {
+        self.hosts_per_edge() * self.k / 2
+    }
+
+    /// Total number of hosts.
+    pub fn total_hosts(&self) -> usize {
+        self.hosts_per_pod() * self.k
+    }
+
+    /// Total number of switches (edge + aggregation + core).
+    pub fn total_switches(&self) -> usize {
+        self.k * self.k + (self.k / 2) * (self.k / 2)
+    }
+
+    fn validate(&self) {
+        assert!(self.k >= 2 && self.k % 2 == 0, "FatTree k must be even and >= 2");
+        assert!(self.oversubscription >= 1, "over-subscription must be >= 1");
+    }
+
+    /// Enable DCTCP-style ECN marking with threshold `k_packets` on every port.
+    pub fn with_ecn_threshold(mut self, k_packets: usize) -> Self {
+        self.queue.ecn_threshold_packets = Some(k_packets);
+        self
+    }
+}
+
+/// Build a FatTree.
+pub fn build(config: FatTreeConfig) -> BuiltTopology {
+    config.validate();
+    let k = config.k;
+    let half = k / 2;
+    let hosts_per_edge = config.hosts_per_edge();
+    let num_hosts = config.total_hosts();
+
+    let host_link = LinkConfig {
+        rate_bps: config.host_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+    let fabric_link = LinkConfig {
+        rate_bps: config.fabric_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+
+    let mut net = Network::new();
+    let mut tiers: Vec<LinkTier> = Vec::new();
+
+    // Hosts, in (pod, edge, slot) order so addresses are structured.
+    let mut hosts = Vec::with_capacity(num_hosts);
+    for _ in 0..num_hosts {
+        hosts.push(net.add_host());
+    }
+
+    // Switches.
+    let mut edges = vec![Vec::with_capacity(half); k]; // [pod][edge]
+    let mut aggs = vec![Vec::with_capacity(half); k]; // [pod][agg]
+    for pod in 0..k {
+        for _ in 0..half {
+            edges[pod].push(net.add_switch(SwitchLayer::Edge, num_hosts));
+        }
+        for _ in 0..half {
+            aggs[pod].push(net.add_switch(SwitchLayer::Aggregation, num_hosts));
+        }
+    }
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| net.add_switch(SwitchLayer::Core, num_hosts))
+        .collect();
+
+    // host <-> edge links. Record the edge->host downlink for routing.
+    let mut host_downlink = vec![None; num_hosts];
+    for (h, &host_node) in hosts.iter().enumerate() {
+        let pod = h / config.hosts_per_pod();
+        let edge_in_pod = (h % config.hosts_per_pod()) / hosts_per_edge;
+        let edge_node = edges[pod][edge_in_pod];
+        let (_up, down) = net.add_duplex_link(host_node, edge_node, host_link);
+        tiers.push(LinkTier::HostEdge);
+        tiers.push(LinkTier::HostEdge);
+        host_downlink[h] = Some(down);
+    }
+
+    // edge <-> aggregation links (within each pod, complete bipartite).
+    // edge_up[pod][e] = links from edge e to each agg; agg_down[pod][a][e] = link agg a -> edge e.
+    let mut edge_up = vec![vec![Vec::with_capacity(half); half]; k];
+    let mut agg_down = vec![vec![vec![None; half]; half]; k];
+    for pod in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                let (up, down) = net.add_duplex_link(edges[pod][e], aggs[pod][a], fabric_link);
+                tiers.push(LinkTier::EdgeAggregation);
+                tiers.push(LinkTier::EdgeAggregation);
+                edge_up[pod][e].push(up);
+                agg_down[pod][a][e] = Some(down);
+            }
+        }
+    }
+
+    // aggregation <-> core links. Aggregation j of each pod connects to cores
+    // j*half .. (j+1)*half.
+    let mut agg_up = vec![vec![Vec::with_capacity(half); half]; k];
+    let mut core_down = vec![vec![None; k]; half * half]; // [core][pod] -> link core -> agg
+    for pod in 0..k {
+        for a in 0..half {
+            for i in 0..half {
+                let core_idx = a * half + i;
+                let (up, down) = net.add_duplex_link(aggs[pod][a], cores[core_idx], fabric_link);
+                tiers.push(LinkTier::AggregationCore);
+                tiers.push(LinkTier::AggregationCore);
+                agg_up[pod][a].push(up);
+                core_down[core_idx][pod] = Some(down);
+            }
+        }
+    }
+
+    debug_assert_eq!(tiers.len(), net.link_count());
+
+    // --- Routing tables -------------------------------------------------
+
+    // Edge switches: directly attached hosts go down their access link;
+    // everything else goes up via ECMP over all aggregation uplinks.
+    for pod in 0..k {
+        for e in 0..half {
+            let sw = net.switch_mut(edges[pod][e]);
+            let up_group = sw.add_group(edge_up[pod][e].clone());
+            let first_host = pod * (half * hosts_per_edge) + e * hosts_per_edge;
+            for h in 0..num_hosts {
+                if h >= first_host && h < first_host + hosts_per_edge {
+                    let g = sw.add_group(vec![host_downlink[h].unwrap()]);
+                    sw.set_route(Addr(h as u32), g);
+                } else {
+                    sw.set_route(Addr(h as u32), up_group);
+                }
+            }
+        }
+    }
+
+    // Aggregation switches: hosts in the same pod go down to the edge switch
+    // that serves them; hosts in other pods go up via ECMP over core uplinks.
+    for pod in 0..k {
+        for a in 0..half {
+            let sw = net.switch_mut(aggs[pod][a]);
+            let up_group = sw.add_group(agg_up[pod][a].clone());
+            let mut down_groups = Vec::with_capacity(half);
+            for e in 0..half {
+                down_groups.push(sw.add_group(vec![agg_down[pod][a][e].unwrap()]));
+            }
+            let pod_first = pod * config.hosts_per_pod();
+            for h in 0..num_hosts {
+                if h >= pod_first && h < pod_first + config.hosts_per_pod() {
+                    let e = (h - pod_first) / hosts_per_edge;
+                    sw.set_route(Addr(h as u32), down_groups[e]);
+                } else {
+                    sw.set_route(Addr(h as u32), up_group);
+                }
+            }
+        }
+    }
+
+    // Core switches: every host is reached through the aggregation switch of
+    // its pod that this core is wired to.
+    for (c, &core_node) in cores.iter().enumerate() {
+        let sw = net.switch_mut(core_node);
+        let mut pod_groups = Vec::with_capacity(k);
+        for pod in 0..k {
+            pod_groups.push(sw.add_group(vec![core_down[c][pod].unwrap()]));
+        }
+        for h in 0..num_hosts {
+            let pod = h / config.hosts_per_pod();
+            sw.set_route(Addr(h as u32), pod_groups[pod]);
+        }
+    }
+
+    BuiltTopology {
+        network: net,
+        name: format!(
+            "fattree(k={}, {}:1, {} hosts)",
+            k, config.oversubscription, num_hosts
+        ),
+        hosts,
+        link_tiers: tiers,
+        path_model: PathModel::FatTree {
+            k,
+            hosts_per_edge,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Node;
+
+    #[test]
+    fn counts_match_theory_k4() {
+        let cfg = FatTreeConfig::small();
+        assert_eq!(cfg.total_hosts(), 16);
+        let t = build(cfg);
+        assert_eq!(t.host_count(), 16);
+        // 16 edge+agg (k*k) + 4 core.
+        assert_eq!(
+            t.network.node_count(),
+            16 + cfg.total_switches()
+        );
+        // Links: 16 host links + 4 pods * 2*2 edge-agg + 4 pods * 2*2 agg-core,
+        // each duplex = 2 unidirectional.
+        assert_eq!(t.network.link_count(), 2 * (16 + 16 + 16));
+        assert_eq!(t.link_tiers.len(), t.network.link_count());
+    }
+
+    #[test]
+    fn paper_scale_is_512_servers() {
+        let cfg = FatTreeConfig::paper();
+        assert_eq!(cfg.k, 8);
+        assert_eq!(cfg.oversubscription, 4);
+        assert_eq!(cfg.hosts_per_edge(), 16);
+        assert_eq!(cfg.total_hosts(), 512);
+    }
+
+    #[test]
+    fn every_switch_routes_every_host() {
+        let t = build(FatTreeConfig::small());
+        for node in t.network.nodes() {
+            if let Node::Switch(sw) = node {
+                for h in 0..t.host_count() {
+                    assert!(
+                        sw.path_count(Addr(h as u32)) >= 1,
+                        "switch {:?} has no route to host {h}",
+                        sw.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_uplink_group_has_k_over_2_members() {
+        let cfg = FatTreeConfig::small();
+        let t = build(cfg);
+        // Host 0 and a host in a different pod: the edge switch must offer
+        // k/2 = 2 uplinks.
+        let edge_switches = t.network.switches_at(SwitchLayer::Edge);
+        let first_edge = t.network.node(edge_switches[0]).as_switch().unwrap();
+        // Host 15 is in the last pod.
+        assert_eq!(first_edge.path_count(Addr(15)), 2);
+        // Its own host has a single downlink.
+        assert_eq!(first_edge.path_count(Addr(0)), 1);
+    }
+
+    #[test]
+    fn tier_classification_counts() {
+        let cfg = FatTreeConfig::small();
+        let t = build(cfg);
+        let host_edge = t.links_of_tier(LinkTier::HostEdge).len();
+        let edge_agg = t.links_of_tier(LinkTier::EdgeAggregation).len();
+        let agg_core = t.links_of_tier(LinkTier::AggregationCore).len();
+        assert_eq!(host_edge, 2 * 16);
+        assert_eq!(edge_agg, 2 * 16);
+        assert_eq!(agg_core, 2 * 16);
+    }
+
+    #[test]
+    fn oversubscribed_tree_attaches_more_hosts_per_edge() {
+        let cfg = FatTreeConfig {
+            k: 4,
+            oversubscription: 4,
+            ..FatTreeConfig::default()
+        };
+        assert_eq!(cfg.total_hosts(), 64);
+        let t = build(cfg);
+        assert_eq!(t.host_count(), 64);
+        // Edge switch 0 serves hosts 0..8 (hosts_per_edge = 8).
+        let edge_switches = t.network.switches_at(SwitchLayer::Edge);
+        let sw = t.network.node(edge_switches[0]).as_switch().unwrap();
+        for h in 0..8 {
+            assert_eq!(sw.path_count(Addr(h)), 1);
+        }
+        assert_eq!(sw.path_count(Addr(8)), 2);
+    }
+
+    #[test]
+    fn path_model_matches_structure() {
+        let t = build(FatTreeConfig::small());
+        // Same edge.
+        assert_eq!(t.path_count(Addr(0), Addr(1)), 1);
+        // Same pod, different edge.
+        assert_eq!(t.path_count(Addr(0), Addr(2)), 2);
+        // Different pod.
+        assert_eq!(t.path_count(Addr(0), Addr(8)), 4);
+    }
+
+    #[test]
+    fn ecn_threshold_is_applied() {
+        let cfg = FatTreeConfig::small().with_ecn_threshold(20);
+        let t = build(cfg);
+        assert_eq!(
+            t.network.link(netsim::LinkId(0)).config.queue.ecn_threshold_packets,
+            Some(20)
+        );
+    }
+}

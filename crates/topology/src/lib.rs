@@ -1,0 +1,33 @@
+//! # topology — data-centre topology builders
+//!
+//! Builders for the network fabrics used by the MMPTCP reproduction:
+//!
+//! * [`fattree`] — k-ary FatTree with configurable over-subscription (the
+//!   paper's 512-server, 4:1 topology is [`fattree::FatTreeConfig::paper`]);
+//! * [`multihomed`] — dual-homed FatTree (the roadmap's burst-tolerance
+//!   extension);
+//! * [`vl2`] — simplified VL2-style Clos;
+//! * [`dumbbell`] — classic transport-validation topology;
+//! * [`parallel`] — two endpoints joined by `p` equal-cost paths.
+//!
+//! Every builder returns a [`BuiltTopology`]: the [`netsim::Network`] graph
+//! plus the metadata transports and metrics need (host list, link tiers and a
+//! [`PathModel`] for MMPTCP's topology-aware duplicate-ACK threshold).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addressing;
+pub mod built;
+pub mod dumbbell;
+pub mod fattree;
+pub mod multihomed;
+pub mod parallel;
+pub mod vl2;
+
+pub use addressing::{FatTreeAddress, FatTreeAddressing};
+pub use built::{BuiltTopology, LinkTier, PathModel};
+pub use dumbbell::DumbbellConfig;
+pub use fattree::FatTreeConfig;
+pub use parallel::ParallelPathConfig;
+pub use vl2::Vl2Config;

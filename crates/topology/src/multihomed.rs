@@ -1,0 +1,219 @@
+//! Multi-homed (dual-homed) FatTree.
+//!
+//! The paper's roadmap: *"We also plan to design multi-homed network
+//! topologies as these are well-suited to MMPTCP. The more parallel paths at
+//! the access layer, the higher the burst tolerance."* This builder attaches
+//! every host to two edge switches of its pod, so even the access layer offers
+//! path diversity for packet scatter to exploit.
+
+use crate::built::{BuiltTopology, LinkTier, PathModel};
+use crate::fattree::FatTreeConfig;
+use netsim::{Addr, LinkConfig, Network, NodeId, SwitchLayer};
+
+/// Build a dual-homed FatTree: identical fabric to [`crate::fattree::build`],
+/// but every host additionally connects to the *next* edge switch of its pod
+/// (wrapping around), and edge switches install routes for their secondary
+/// hosts as well.
+pub fn build(config: FatTreeConfig) -> BuiltTopology {
+    assert!(config.k >= 4, "dual-homing needs at least two edge switches per pod");
+    let k = config.k;
+    let half = k / 2;
+    let hosts_per_edge = config.hosts_per_edge();
+    let num_hosts = config.total_hosts();
+
+    let host_link = LinkConfig {
+        rate_bps: config.host_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+    let fabric_link = LinkConfig {
+        rate_bps: config.fabric_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+
+    let mut net = Network::new();
+    let mut tiers: Vec<LinkTier> = Vec::new();
+
+    let hosts: Vec<_> = (0..num_hosts).map(|_| net.add_host()).collect();
+    let mut edges = vec![Vec::with_capacity(half); k];
+    let mut aggs = vec![Vec::with_capacity(half); k];
+    for pod in 0..k {
+        for _ in 0..half {
+            edges[pod].push(net.add_switch(SwitchLayer::Edge, num_hosts));
+        }
+        for _ in 0..half {
+            aggs[pod].push(net.add_switch(SwitchLayer::Aggregation, num_hosts));
+        }
+    }
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| net.add_switch(SwitchLayer::Core, num_hosts))
+        .collect();
+
+    // Host attachment: primary edge (by address) plus the next edge in the pod.
+    // primary_down[h] / secondary_down[h] are the edge->host links.
+    let mut primary_down = vec![None; num_hosts];
+    let mut secondary_down = vec![None; num_hosts];
+    let host_pod = |h: usize| h / config.hosts_per_pod();
+    let host_primary_edge = |h: usize| (h % config.hosts_per_pod()) / hosts_per_edge;
+    for (h, &host_node) in hosts.iter().enumerate() {
+        let pod = host_pod(h);
+        let e0 = host_primary_edge(h);
+        let e1 = (e0 + 1) % half;
+        let (_u0, d0) = net.add_duplex_link(host_node, edges[pod][e0], host_link);
+        tiers.push(LinkTier::HostEdge);
+        tiers.push(LinkTier::HostEdge);
+        let (_u1, d1) = net.add_duplex_link(host_node, edges[pod][e1], host_link);
+        tiers.push(LinkTier::HostEdge);
+        tiers.push(LinkTier::HostEdge);
+        primary_down[h] = Some(d0);
+        secondary_down[h] = Some(d1);
+    }
+
+    // Fabric wiring identical to the single-homed FatTree.
+    let mut edge_up = vec![vec![Vec::with_capacity(half); half]; k];
+    let mut agg_down = vec![vec![vec![None; half]; half]; k];
+    for pod in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                let (up, down) = net.add_duplex_link(edges[pod][e], aggs[pod][a], fabric_link);
+                tiers.push(LinkTier::EdgeAggregation);
+                tiers.push(LinkTier::EdgeAggregation);
+                edge_up[pod][e].push(up);
+                agg_down[pod][a][e] = Some(down);
+            }
+        }
+    }
+    let mut agg_up = vec![vec![Vec::with_capacity(half); half]; k];
+    let mut core_down = vec![vec![None; k]; half * half];
+    for pod in 0..k {
+        for a in 0..half {
+            for i in 0..half {
+                let core_idx = a * half + i;
+                let (up, down) = net.add_duplex_link(aggs[pod][a], cores[core_idx], fabric_link);
+                tiers.push(LinkTier::AggregationCore);
+                tiers.push(LinkTier::AggregationCore);
+                agg_up[pod][a].push(up);
+                core_down[core_idx][pod] = Some(down);
+            }
+        }
+    }
+    debug_assert_eq!(tiers.len(), net.link_count());
+
+    // Edge routing: a host attached here (as primary or secondary) is reached
+    // through the direct downlink; everything else goes up.
+    for pod in 0..k {
+        for e in 0..half {
+            let sw = net.switch_mut(edges[pod][e]);
+            let up_group = sw.add_group(edge_up[pod][e].clone());
+            for h in 0..num_hosts {
+                let is_primary = host_pod(h) == pod && host_primary_edge(h) == e;
+                let is_secondary =
+                    host_pod(h) == pod && (host_primary_edge(h) + 1) % half == e;
+                if is_primary {
+                    let g = sw.add_group(vec![primary_down[h].unwrap()]);
+                    sw.set_route(Addr(h as u32), g);
+                } else if is_secondary {
+                    let g = sw.add_group(vec![secondary_down[h].unwrap()]);
+                    sw.set_route(Addr(h as u32), g);
+                } else {
+                    sw.set_route(Addr(h as u32), up_group);
+                }
+            }
+        }
+    }
+
+    // Aggregation routing: a host in this pod can be reached through either of
+    // its two edge switches (ECMP group of two downlinks); other pods go up.
+    for pod in 0..k {
+        for a in 0..half {
+            let sw = net.switch_mut(aggs[pod][a]);
+            let up_group = sw.add_group(agg_up[pod][a].clone());
+            let pod_first = pod * config.hosts_per_pod();
+            for h in 0..num_hosts {
+                if h >= pod_first && h < pod_first + config.hosts_per_pod() {
+                    let e0 = host_primary_edge(h);
+                    let e1 = (e0 + 1) % half;
+                    let g = sw.add_group(vec![
+                        agg_down[pod][a][e0].unwrap(),
+                        agg_down[pod][a][e1].unwrap(),
+                    ]);
+                    sw.set_route(Addr(h as u32), g);
+                } else {
+                    sw.set_route(Addr(h as u32), up_group);
+                }
+            }
+        }
+    }
+
+    // Core routing: unchanged.
+    for (c, &core_node) in cores.iter().enumerate() {
+        let sw = net.switch_mut(core_node);
+        let mut pod_groups = Vec::with_capacity(k);
+        for pod in 0..k {
+            pod_groups.push(sw.add_group(vec![core_down[c][pod].unwrap()]));
+        }
+        for h in 0..num_hosts {
+            sw.set_route(Addr(h as u32), pod_groups[host_pod(h)]);
+        }
+    }
+
+    BuiltTopology {
+        network: net,
+        name: format!(
+            "multihomed-fattree(k={}, {}:1, {} hosts)",
+            k, config.oversubscription, num_hosts
+        ),
+        hosts,
+        link_tiers: tiers,
+        path_model: PathModel::MultiHomedFatTree {
+            k,
+            hosts_per_edge,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hosts_have_two_uplinks() {
+        let t = build(FatTreeConfig::small());
+        for &h in &t.hosts {
+            let host = t.network.node(h).as_host().unwrap();
+            assert_eq!(host.uplinks.len(), 2, "host {h:?} should be dual-homed");
+        }
+    }
+
+    #[test]
+    fn everything_is_routable() {
+        let t = build(FatTreeConfig::small());
+        for node in t.network.nodes() {
+            if let Some(sw) = node.as_switch() {
+                for h in 0..t.host_count() {
+                    assert!(
+                        sw.path_count(Addr(h as u32)) >= 1,
+                        "switch {:?} cannot reach {h}",
+                        sw.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_offers_two_downlinks_per_local_host() {
+        let t = build(FatTreeConfig::small());
+        let aggs = t.network.switches_at(SwitchLayer::Aggregation);
+        let sw = t.network.node(aggs[0]).as_switch().unwrap();
+        // Host 0 is in pod 0, reachable via two edges.
+        assert_eq!(sw.path_count(Addr(0)), 2);
+    }
+
+    #[test]
+    fn path_model_doubles_diversity() {
+        let t = build(FatTreeConfig::small());
+        assert_eq!(t.path_count(Addr(0), Addr(8)), 8); // vs 4 single-homed
+    }
+}

@@ -1,0 +1,173 @@
+//! Parallel-path topology: a pair of endpoints joined by `p` equal-cost paths.
+//!
+//! The smallest topology on which multipath behaviour is observable: MPTCP
+//! subflows with distinct source ports hash onto different middle switches,
+//! and MMPTCP's packet scatter spreads individual packets across all of them.
+//! Used heavily by transport unit/integration tests and by the burst-tolerance
+//! micro-benchmarks.
+
+use crate::built::{BuiltTopology, LinkTier, PathModel};
+use netsim::{Addr, LinkConfig, Network, QueueConfig, SimDuration, SwitchLayer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a parallel-path build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelPathConfig {
+    /// Number of sender/receiver host pairs (hosts `0..n` send to `n..2n`).
+    pub host_pairs: usize,
+    /// Number of equal-cost paths between the two edge switches.
+    pub paths: usize,
+    /// Access link rate, bits/s.
+    pub access_rate_bps: u64,
+    /// Per-path core link rate, bits/s.
+    pub path_rate_bps: u64,
+    /// Propagation delay of every link.
+    pub link_delay: SimDuration,
+    /// Queue configuration for every port.
+    pub queue: QueueConfig,
+}
+
+impl Default for ParallelPathConfig {
+    fn default() -> Self {
+        ParallelPathConfig {
+            host_pairs: 1,
+            paths: 4,
+            access_rate_bps: 1_000_000_000,
+            path_rate_bps: 1_000_000_000,
+            link_delay: SimDuration::from_micros(5),
+            queue: QueueConfig::default(),
+        }
+    }
+}
+
+/// Build a parallel-path topology: hosts — edge switch — `p` middle switches —
+/// edge switch — hosts.
+pub fn build(config: ParallelPathConfig) -> BuiltTopology {
+    assert!(config.paths >= 1, "need at least one path");
+    assert!(config.host_pairs >= 1, "need at least one host pair");
+    let n = config.host_pairs;
+    let num_hosts = 2 * n;
+
+    let access = LinkConfig {
+        rate_bps: config.access_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+    let core = LinkConfig {
+        rate_bps: config.path_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+
+    let mut net = Network::new();
+    let mut tiers = Vec::new();
+
+    let hosts: Vec<_> = (0..num_hosts).map(|_| net.add_host()).collect();
+    let left = net.add_switch(SwitchLayer::Edge, num_hosts);
+    let right = net.add_switch(SwitchLayer::Edge, num_hosts);
+    let middles: Vec<_> = (0..config.paths)
+        .map(|_| net.add_switch(SwitchLayer::Core, num_hosts))
+        .collect();
+
+    let mut downlinks = Vec::with_capacity(num_hosts);
+    for (i, &h) in hosts.iter().enumerate() {
+        let sw = if i < n { left } else { right };
+        let (_up, down) = net.add_duplex_link(h, sw, access);
+        tiers.push(LinkTier::HostEdge);
+        tiers.push(LinkTier::HostEdge);
+        downlinks.push(down);
+    }
+
+    let mut left_up = Vec::new();
+    let mut right_up = Vec::new();
+    let mut mid_to_left = Vec::new();
+    let mut mid_to_right = Vec::new();
+    for &m in &middles {
+        let (lu, ld) = net.add_duplex_link(left, m, core);
+        let (ru, rd) = net.add_duplex_link(right, m, core);
+        tiers.extend([
+            LinkTier::AggregationCore,
+            LinkTier::AggregationCore,
+            LinkTier::AggregationCore,
+            LinkTier::AggregationCore,
+        ]);
+        left_up.push(lu);
+        right_up.push(ru);
+        mid_to_left.push(ld);
+        mid_to_right.push(rd);
+    }
+
+    // Routing: edges send local hosts down, remote hosts up across all paths;
+    // middle switches know which side each host is on.
+    {
+        let sw = net.switch_mut(left);
+        let up = sw.add_group(left_up.clone());
+        for h in 0..num_hosts {
+            if h < n {
+                let g = sw.add_group(vec![downlinks[h]]);
+                sw.set_route(Addr(h as u32), g);
+            } else {
+                sw.set_route(Addr(h as u32), up);
+            }
+        }
+    }
+    {
+        let sw = net.switch_mut(right);
+        let up = sw.add_group(right_up.clone());
+        for h in 0..num_hosts {
+            if h >= n {
+                let g = sw.add_group(vec![downlinks[h]]);
+                sw.set_route(Addr(h as u32), g);
+            } else {
+                sw.set_route(Addr(h as u32), up);
+            }
+        }
+    }
+    for (i, &m) in middles.iter().enumerate() {
+        let sw = net.switch_mut(m);
+        let to_left = sw.add_group(vec![mid_to_left[i]]);
+        let to_right = sw.add_group(vec![mid_to_right[i]]);
+        for h in 0..num_hosts {
+            let g = if h < n { to_left } else { to_right };
+            sw.set_route(Addr(h as u32), g);
+        }
+    }
+
+    BuiltTopology {
+        network: net,
+        name: format!("parallel({} pairs, {} paths)", n, config.paths),
+        hosts,
+        link_tiers: tiers,
+        path_model: PathModel::Constant(config.paths),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let cfg = ParallelPathConfig {
+            host_pairs: 2,
+            paths: 4,
+            ..ParallelPathConfig::default()
+        };
+        let t = build(cfg);
+        assert_eq!(t.host_count(), 4);
+        // 4 hosts + 2 edges + 4 middles.
+        assert_eq!(t.network.node_count(), 10);
+        // 4 access duplex + 4*2 core duplex = 24 unidirectional.
+        assert_eq!(t.network.link_count(), 24);
+        assert_eq!(t.path_count(Addr(0), Addr(2)), 4);
+    }
+
+    #[test]
+    fn cross_traffic_routable_and_local_traffic_stays_local() {
+        let t = build(ParallelPathConfig::default());
+        let left = t.network.switches_at(SwitchLayer::Edge)[0];
+        let sw = t.network.node(left).as_switch().unwrap();
+        assert_eq!(sw.path_count(Addr(0)), 1);
+        assert_eq!(sw.path_count(Addr(1)), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Simplified VL2-style Clos topology.
+//!
+//! The paper's introduction cites VL2 as the other canonical data-centre
+//! fabric and notes that its centralised components can provide the path-count
+//! information MMPTCP's packet-scatter phase needs. This module builds a
+//! three-tier Clos in the VL2 style: hosts attach to ToR switches, each ToR
+//! connects to two aggregation switches, and aggregation and intermediate
+//! switches form a complete bipartite graph over which traffic is spread by
+//! ECMP (standing in for VL2's valiant load balancing).
+
+use crate::built::{BuiltTopology, LinkTier, PathModel};
+use netsim::{Addr, LinkConfig, Network, QueueConfig, SimDuration, SwitchLayer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a VL2-style build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vl2Config {
+    /// Number of ToR (edge) switches.
+    pub num_tors: usize,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Number of aggregation switches (must be ≥ 2).
+    pub num_aggs: usize,
+    /// Number of intermediate (core) switches.
+    pub num_intermediates: usize,
+    /// Host ↔ ToR link rate, bits/s.
+    pub host_rate_bps: u64,
+    /// Switch ↔ switch link rate, bits/s (VL2 uses 10x the host rate).
+    pub fabric_rate_bps: u64,
+    /// Propagation delay of every link.
+    pub link_delay: SimDuration,
+    /// Queue configuration of every port.
+    pub queue: QueueConfig,
+}
+
+impl Default for Vl2Config {
+    fn default() -> Self {
+        Vl2Config {
+            num_tors: 8,
+            hosts_per_tor: 8,
+            num_aggs: 4,
+            num_intermediates: 4,
+            host_rate_bps: 1_000_000_000,
+            fabric_rate_bps: 10_000_000_000,
+            link_delay: SimDuration::from_micros(5),
+            queue: QueueConfig::default(),
+        }
+    }
+}
+
+impl Vl2Config {
+    /// Total hosts.
+    pub fn total_hosts(&self) -> usize {
+        self.num_tors * self.hosts_per_tor
+    }
+}
+
+/// Build the VL2-style topology.
+pub fn build(config: Vl2Config) -> BuiltTopology {
+    assert!(config.num_aggs >= 2, "VL2 needs at least two aggregation switches");
+    assert!(config.num_tors >= 1 && config.hosts_per_tor >= 1);
+    assert!(config.num_intermediates >= 1);
+
+    let num_hosts = config.total_hosts();
+    let host_link = LinkConfig {
+        rate_bps: config.host_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+    let fabric_link = LinkConfig {
+        rate_bps: config.fabric_rate_bps,
+        delay: config.link_delay,
+        queue: config.queue,
+    };
+
+    let mut net = Network::new();
+    let mut tiers = Vec::new();
+
+    let hosts: Vec<_> = (0..num_hosts).map(|_| net.add_host()).collect();
+    let tors: Vec<_> = (0..config.num_tors)
+        .map(|_| net.add_switch(SwitchLayer::Edge, num_hosts))
+        .collect();
+    let aggs: Vec<_> = (0..config.num_aggs)
+        .map(|_| net.add_switch(SwitchLayer::Aggregation, num_hosts))
+        .collect();
+    let ints: Vec<_> = (0..config.num_intermediates)
+        .map(|_| net.add_switch(SwitchLayer::Core, num_hosts))
+        .collect();
+
+    // Hosts to ToRs.
+    let mut host_down = vec![None; num_hosts];
+    for (h, &host) in hosts.iter().enumerate() {
+        let tor = tors[h / config.hosts_per_tor];
+        let (_up, down) = net.add_duplex_link(host, tor, host_link);
+        tiers.push(LinkTier::HostEdge);
+        tiers.push(LinkTier::HostEdge);
+        host_down[h] = Some(down);
+    }
+
+    // Each ToR connects to two aggregation switches.
+    let tor_aggs = |t: usize| -> [usize; 2] {
+        [(2 * t) % config.num_aggs, (2 * t + 1) % config.num_aggs]
+    };
+    let mut tor_up = vec![Vec::new(); config.num_tors];
+    let mut agg_down = vec![vec![None; config.num_tors]; config.num_aggs];
+    for t in 0..config.num_tors {
+        for a in tor_aggs(t) {
+            if agg_down[a][t].is_some() {
+                // num_aggs == 2 makes both choices identical; skip duplicates.
+                continue;
+            }
+            let (up, down) = net.add_duplex_link(tors[t], aggs[a], fabric_link);
+            tiers.push(LinkTier::EdgeAggregation);
+            tiers.push(LinkTier::EdgeAggregation);
+            tor_up[t].push(up);
+            agg_down[a][t] = Some(down);
+        }
+    }
+
+    // Aggregation and intermediate switches form a complete bipartite graph.
+    let mut agg_up = vec![Vec::new(); config.num_aggs];
+    let mut int_down = vec![vec![None; config.num_aggs]; config.num_intermediates];
+    for a in 0..config.num_aggs {
+        for i in 0..config.num_intermediates {
+            let (up, down) = net.add_duplex_link(aggs[a], ints[i], fabric_link);
+            tiers.push(LinkTier::AggregationCore);
+            tiers.push(LinkTier::AggregationCore);
+            agg_up[a].push(up);
+            int_down[i][a] = Some(down);
+        }
+    }
+
+    debug_assert_eq!(tiers.len(), net.link_count());
+
+    let host_tor = |h: usize| h / config.hosts_per_tor;
+
+    // ToR routing.
+    for t in 0..config.num_tors {
+        let sw = net.switch_mut(tors[t]);
+        let up = sw.add_group(tor_up[t].clone());
+        for h in 0..num_hosts {
+            if host_tor(h) == t {
+                let g = sw.add_group(vec![host_down[h].unwrap()]);
+                sw.set_route(Addr(h as u32), g);
+            } else {
+                sw.set_route(Addr(h as u32), up);
+            }
+        }
+    }
+
+    // Aggregation routing: hosts under a directly connected ToR go down;
+    // everything else goes up over all intermediates.
+    for a in 0..config.num_aggs {
+        let sw = net.switch_mut(aggs[a]);
+        let up = sw.add_group(agg_up[a].clone());
+        let mut down_groups = vec![None; config.num_tors];
+        for t in 0..config.num_tors {
+            if let Some(link) = agg_down[a][t] {
+                down_groups[t] = Some(sw.add_group(vec![link]));
+            }
+        }
+        for h in 0..num_hosts {
+            let t = host_tor(h);
+            match down_groups[t] {
+                Some(g) => sw.set_route(Addr(h as u32), g),
+                None => sw.set_route(Addr(h as u32), up),
+            }
+        }
+    }
+
+    // Intermediate routing: go down to either aggregation switch that serves
+    // the destination's ToR.
+    for i in 0..config.num_intermediates {
+        // Pre-compute groups keyed by ToR.
+        let mut groups = vec![None; config.num_tors];
+        {
+            let sw = net.switch_mut(ints[i]);
+            for t in 0..config.num_tors {
+                let links: Vec<_> = tor_aggs(t)
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .map(|a| int_down[i][a].unwrap())
+                    .collect();
+                groups[t] = Some(sw.add_group(links));
+            }
+            for h in 0..num_hosts {
+                sw.set_route(Addr(h as u32), groups[host_tor(h)].unwrap());
+            }
+        }
+    }
+
+    // Path count between hosts on different ToRs: 2 uplinks × intermediates ×
+    // (up to) 2 downlinks; we expose the dominant factor used for dup-ACK
+    // tuning rather than the exact combinatorial count.
+    let paths = 2 * config.num_intermediates;
+
+    BuiltTopology {
+        network: net,
+        name: format!(
+            "vl2({} tors x {} hosts, {} aggs, {} ints)",
+            config.num_tors, config.hosts_per_tor, config.num_aggs, config.num_intermediates
+        ),
+        hosts,
+        link_tiers: tiers,
+        path_model: PathModel::Constant(paths),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_and_routability() {
+        let cfg = Vl2Config::default();
+        let t = build(cfg);
+        assert_eq!(t.host_count(), 64);
+        for node in t.network.nodes() {
+            if let Some(sw) = node.as_switch() {
+                for h in 0..t.host_count() {
+                    assert!(
+                        sw.path_count(Addr(h as u32)) >= 1,
+                        "switch {:?} cannot reach host {h}",
+                        sw.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_links_are_faster_than_access() {
+        let t = build(Vl2Config::default());
+        let access = t.links_of_tier(LinkTier::HostEdge);
+        let fabric = t.links_of_tier(LinkTier::AggregationCore);
+        assert_eq!(t.network.link(access[0]).config.rate_bps, 1_000_000_000);
+        assert_eq!(t.network.link(fabric[0]).config.rate_bps, 10_000_000_000);
+    }
+
+    #[test]
+    fn two_aggs_special_case() {
+        let cfg = Vl2Config {
+            num_tors: 4,
+            hosts_per_tor: 2,
+            num_aggs: 2,
+            num_intermediates: 2,
+            ..Vl2Config::default()
+        };
+        let t = build(cfg);
+        assert_eq!(t.host_count(), 8);
+        // Still fully routable.
+        for node in t.network.nodes() {
+            if let Some(sw) = node.as_switch() {
+                for h in 0..t.host_count() {
+                    assert!(sw.path_count(Addr(h as u32)) >= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! D²TCP: Deadline-aware Data Center TCP (Vamanan et al., SIGCOMM 2012).
+//!
+//! One of the deadline-aware single-path protocols the paper's introduction
+//! contrasts MMPTCP against. D²TCP starts from DCTCP (ECN marking at the
+//! switches, an EWMA `α` of the marked fraction at the sender) but
+//! gamma-corrects the window reduction with a *deadline imminence* factor
+//! `d = Tc / D`, where `Tc` is the time the flow still needs at its current
+//! rate and `D` is the time remaining until its deadline:
+//!
+//! * far-from-deadline flows (`d < 1`) back off **more** than DCTCP would,
+//! * near-deadline flows (`d > 1`) back off **less**, stealing bandwidth from
+//!   flows that can afford to wait.
+//!
+//! The reduction applied per marked window is `cwnd ← cwnd · (1 − α^d / 2)`.
+//! Flows without a deadline use `d = 1` and therefore behave exactly like
+//! DCTCP. This module exists to reproduce the qualitative comparison in the
+//! paper's introduction: deadline-aware transports need application-layer
+//! deadline information and ECN support in the network — precisely the
+//! requirements MMPTCP avoids — and, being single-path, they cannot exploit
+//! the path diversity of the FatTree.
+
+use crate::config::TransportConfig;
+use crate::subflow::Subflow;
+use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, PacketKind, Signal, SimDuration, SimTime};
+
+/// Bounds on the deadline-imminence factor, as in the D²TCP paper.
+const MIN_IMMINENCE: f64 = 0.5;
+const MAX_IMMINENCE: f64 = 2.0;
+
+/// A deadline-aware DCTCP sender.
+#[derive(Debug)]
+pub struct D2tcpSender {
+    cfg: TransportConfig,
+    flow: FlowId,
+    total: Option<u64>,
+    /// Absolute deadline for the transfer, if the application provided one.
+    deadline: Option<SimTime>,
+    /// Relative deadline used to derive the absolute one at start time.
+    relative_deadline: Option<SimDuration>,
+    subflow: Subflow,
+    next_data_seq: u64,
+    data_acked: u64,
+    started_at: Option<SimTime>,
+    completed: bool,
+    missed_deadline: bool,
+}
+
+impl D2tcpSender {
+    /// Create a D²TCP sender transferring `total` bytes with an optional
+    /// relative `deadline` (measured from the flow's start time). A sender
+    /// without a deadline degenerates to DCTCP.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: TransportConfig,
+        flow: FlowId,
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        total: Option<u64>,
+        deadline: Option<SimDuration>,
+    ) -> Self {
+        let ecn_cfg = TransportConfig { ecn: true, ..cfg };
+        let subflow = Subflow::new(ecn_cfg, 0, false, src, dst, src_port, dst_port, flow);
+        D2tcpSender {
+            cfg: ecn_cfg,
+            flow,
+            total,
+            deadline: None,
+            relative_deadline: deadline,
+            subflow,
+            next_data_seq: 0,
+            data_acked: 0,
+            started_at: None,
+            completed: false,
+            missed_deadline: false,
+        }
+    }
+
+    /// Connection-level bytes acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.data_acked
+    }
+
+    /// Has the whole transfer been acknowledged?
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Did the transfer finish after its deadline (or not at all)?
+    pub fn missed_deadline(&self) -> bool {
+        self.missed_deadline
+    }
+
+    /// The underlying subflow (for tests and metrics).
+    pub fn subflow(&self) -> &Subflow {
+        &self.subflow
+    }
+
+    /// The absolute deadline, once the flow has started.
+    pub fn absolute_deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    fn remaining(&self) -> u64 {
+        match self.total {
+            Some(t) => t.saturating_sub(self.next_data_seq),
+            None => u64::MAX,
+        }
+    }
+
+    /// Recompute the deadline-imminence factor `d = Tc / D` and install it on
+    /// the subflow. Called on every ACK so the factor tracks both the rate the
+    /// flow is achieving and the time it has left.
+    fn update_imminence(&mut self, now: SimTime) {
+        let Some(deadline) = self.deadline else {
+            self.subflow.set_dctcp_penalty_exponent(1.0);
+            return;
+        };
+        let Some(total) = self.total else {
+            self.subflow.set_dctcp_penalty_exponent(1.0);
+            return;
+        };
+        let remaining_bytes = total.saturating_sub(self.data_acked) as f64;
+        if remaining_bytes <= 0.0 {
+            return;
+        }
+        // Time needed at the current rate: cwnd bytes per RTT.
+        let rtt = self
+            .subflow
+            .srtt()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(200e-6)
+            .max(1e-6);
+        let rate = self.subflow.cwnd().max(self.cfg.mss as f64) / rtt;
+        let needed = remaining_bytes / rate;
+        let left = if deadline > now {
+            (deadline - now).as_secs_f64()
+        } else {
+            // Deadline already blown: be maximally aggressive (the D²TCP paper
+            // caps d so such flows do not starve everyone else).
+            0.0
+        };
+        let d = if left <= 0.0 {
+            MAX_IMMINENCE
+        } else {
+            (needed / left).clamp(MIN_IMMINENCE, MAX_IMMINENCE)
+        };
+        // D²TCP's exponent is d for the *penalty* α^d: imminent flows (d > 1)
+        // see α^d < α, i.e. a smaller reduction.
+        self.subflow.set_dctcp_penalty_exponent(d);
+    }
+
+    fn pump(&mut self, ctx: &mut AgentCtx<'_>) {
+        loop {
+            let remaining = self.remaining();
+            if remaining == 0 {
+                break;
+            }
+            let len = (self.cfg.mss as u64).min(remaining) as u32;
+            if self.subflow.window_space() < len as u64 {
+                break;
+            }
+            self.subflow.send_segment(ctx, self.next_data_seq, len);
+            self.next_data_seq += len as u64;
+        }
+    }
+
+    fn check_completion(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.completed {
+            return;
+        }
+        if let Some(total) = self.total {
+            if self.data_acked >= total {
+                self.completed = true;
+                if let Some(deadline) = self.deadline {
+                    if ctx.now() > deadline {
+                        self.missed_deadline = true;
+                    }
+                }
+                ctx.signal(Signal::FlowCompleted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: total,
+                });
+            }
+        }
+    }
+}
+
+impl Agent for D2tcpSender {
+    fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+        match event {
+            AgentEvent::Start => {
+                self.started_at = Some(ctx.now());
+                self.deadline = self.relative_deadline.map(|d| ctx.now() + d);
+                ctx.signal(Signal::FlowStarted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: self.total.unwrap_or(u64::MAX),
+                });
+                self.subflow.start(ctx);
+            }
+            AgentEvent::Packet(pkt) => {
+                if matches!(pkt.kind, PacketKind::Ack | PacketKind::SynAck) {
+                    self.data_acked = self.data_acked.max(pkt.data_ack);
+                    self.update_imminence(ctx.now());
+                    self.subflow.on_packet(ctx, &pkt, None);
+                    self.pump(ctx);
+                    self.check_completion(ctx);
+                }
+            }
+            AgentEvent::Timer(token) => {
+                let (_, gen) = Subflow::decode_timer_token(token);
+                self.subflow.on_timer(ctx, gen);
+                self.pump(ctx);
+            }
+            AgentEvent::Finalize => {
+                if !self.completed {
+                    if self.deadline.is_some() {
+                        self.missed_deadline = true;
+                    }
+                    ctx.signal(Signal::FlowProgress {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: self.data_acked,
+                    });
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "d2tcp-sender({}, {:?} bytes, deadline {:?})",
+            self.flow, self.total, self.relative_deadline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::TransportReceiver;
+    use netsim::{Packet, SimRng};
+
+    /// Back-to-back harness with an optional per-packet ECN-mark predicate.
+    struct Loop {
+        tx: D2tcpSender,
+        rx: TransportReceiver,
+        rng: SimRng,
+        timers: Vec<(SimTime, u64)>,
+        signals: Vec<Signal>,
+        now: SimTime,
+        to_rx: Vec<Packet>,
+        to_tx: Vec<Packet>,
+    }
+
+    impl Loop {
+        fn new(total: u64, deadline: Option<SimDuration>) -> Self {
+            let flow = FlowId(1);
+            Loop {
+                tx: D2tcpSender::new(
+                    TransportConfig::dctcp(),
+                    flow,
+                    Addr(0),
+                    Addr(1),
+                    50_000,
+                    80,
+                    Some(total),
+                    deadline,
+                ),
+                rx: TransportReceiver::new(flow),
+                rng: SimRng::new(5),
+                timers: Vec::new(),
+                signals: Vec::new(),
+                now: SimTime::from_millis(1),
+                to_rx: Vec::new(),
+                to_tx: Vec::new(),
+            }
+        }
+
+        fn run(&mut self, max_rounds: usize, mut mark: impl FnMut(&Packet) -> bool) {
+            {
+                let mut out = Vec::new();
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut out,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.tx.handle(&mut ctx, AgentEvent::Start);
+                self.to_rx.extend(out);
+            }
+            for _ in 0..max_rounds {
+                if self.tx.is_completed() {
+                    break;
+                }
+                self.now = self.now + SimDuration::from_micros(100);
+                let mut acks = Vec::new();
+                for mut pkt in std::mem::take(&mut self.to_rx) {
+                    if mark(&pkt) && pkt.ecn == netsim::Ecn::Capable {
+                        pkt.ecn = netsim::Ecn::CongestionExperienced;
+                    }
+                    let mut ctx = AgentCtx::new(
+                        self.now,
+                        FlowId(1),
+                        &mut self.rng,
+                        &mut acks,
+                        &mut self.timers,
+                        &mut self.signals,
+                    );
+                    self.rx.handle(&mut ctx, AgentEvent::Packet(pkt));
+                }
+                self.to_tx.extend(acks);
+                self.now = self.now + SimDuration::from_micros(100);
+                let mut out = Vec::new();
+                for pkt in std::mem::take(&mut self.to_tx) {
+                    let mut ctx = AgentCtx::new(
+                        self.now,
+                        FlowId(1),
+                        &mut self.rng,
+                        &mut out,
+                        &mut self.timers,
+                        &mut self.signals,
+                    );
+                    self.tx.handle(&mut ctx, AgentEvent::Packet(pkt));
+                }
+                self.to_rx.extend(out);
+                let due: Vec<(SimTime, u64)> = self
+                    .timers
+                    .iter()
+                    .copied()
+                    .filter(|(t, _)| *t <= self.now)
+                    .collect();
+                self.timers.retain(|(t, _)| *t > self.now);
+                for (_, token) in due {
+                    let mut out = Vec::new();
+                    let mut ctx = AgentCtx::new(
+                        self.now,
+                        FlowId(1),
+                        &mut self.rng,
+                        &mut out,
+                        &mut self.timers,
+                        &mut self.signals,
+                    );
+                    self.tx.handle(&mut ctx, AgentEvent::Timer(token));
+                    self.to_rx.extend(out);
+                }
+                if self.to_rx.is_empty() && self.to_tx.is_empty() && !self.tx.is_completed() {
+                    if let Some(&(t, _)) = self.timers.iter().min_by_key(|(t, _)| *t) {
+                        self.now = t;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completes_without_marking_like_tcp() {
+        let mut l = Loop::new(70_000, Some(SimDuration::from_millis(100)));
+        l.run(5_000, |_| false);
+        assert!(l.tx.is_completed());
+        assert!(!l.tx.missed_deadline());
+        assert_eq!(l.tx.acked_bytes(), 70_000);
+    }
+
+    #[test]
+    fn without_deadline_behaves_as_dctcp() {
+        let mut l = Loop::new(140_000, None);
+        l.run(5_000, |p| p.kind == PacketKind::Data);
+        assert!(l.tx.is_completed());
+        assert!((l.tx.subflow().dctcp_penalty_exponent() - 1.0).abs() < f64::EPSILON);
+        assert!(l.tx.subflow().dctcp_alpha() > 0.0, "marks must raise alpha");
+    }
+
+    #[test]
+    fn near_deadline_flow_becomes_more_aggressive() {
+        // A tight deadline with persistent marking: imminence should exceed 1,
+        // so the penalty exponent rises above DCTCP's 1.0.
+        let mut l = Loop::new(500_000, Some(SimDuration::from_micros(800)));
+        l.run(400, |p| p.kind == PacketKind::Data);
+        assert!(
+            l.tx.subflow().dctcp_penalty_exponent() > 1.0,
+            "exponent {} should exceed 1 for an imminent deadline",
+            l.tx.subflow().dctcp_penalty_exponent()
+        );
+    }
+
+    #[test]
+    fn far_deadline_flow_yields() {
+        // A huge deadline: imminence clamps low, exponent below 1.
+        let mut l = Loop::new(140_000, Some(SimDuration::from_secs(30)));
+        l.run(50, |p| p.kind == PacketKind::Data);
+        assert!(
+            l.tx.subflow().dctcp_penalty_exponent() < 1.0,
+            "exponent {} should be below 1 for a distant deadline",
+            l.tx.subflow().dctcp_penalty_exponent()
+        );
+    }
+
+    #[test]
+    fn finishing_after_the_deadline_is_recorded_as_a_miss() {
+        // Impossible deadline: 70 KB in 1 µs.
+        let mut l = Loop::new(70_000, Some(SimDuration::from_micros(1)));
+        l.run(5_000, |_| false);
+        assert!(l.tx.is_completed());
+        assert!(l.tx.missed_deadline());
+    }
+
+    #[test]
+    fn unfinished_flow_counts_as_missed_on_finalize() {
+        let mut l = Loop::new(1_000_000, Some(SimDuration::from_millis(1)));
+        l.run(3, |_| false);
+        assert!(!l.tx.is_completed());
+        let mut out = Vec::new();
+        let mut ctx = AgentCtx::new(
+            l.now,
+            FlowId(1),
+            &mut l.rng,
+            &mut out,
+            &mut l.timers,
+            &mut l.signals,
+        );
+        l.tx.handle(&mut ctx, AgentEvent::Finalize);
+        assert!(l.tx.missed_deadline());
+    }
+
+    #[test]
+    fn ecn_is_forced_on() {
+        let cfg = TransportConfig::default(); // ecn = false
+        let tx = D2tcpSender::new(
+            cfg,
+            FlowId(1),
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            Some(1_000),
+            None,
+        );
+        assert!(tx.cfg.ecn, "D2TCP always negotiates ECN");
+    }
+}

@@ -1,0 +1,649 @@
+//! Multi-Path TCP sender.
+//!
+//! An [`MptcpSender`] stripes one connection-level byte stream over `N`
+//! subflows, each pinned to its own source port (and therefore, via ECMP, to
+//! its own path through the fabric). Congestion control is RFC 6356's Linked
+//! Increase Algorithm (LIA): subflows share a coupled additive-increase term
+//! so the connection is no more aggressive than a single TCP flow on its best
+//! path, while still moving traffic away from congested paths.
+//!
+//! Faithful to the behaviour the paper criticises, there is **no
+//! connection-level reinjection**: bytes mapped onto a subflow can only be
+//! retransmitted by that subflow, so a loss on a subflow whose window is tiny
+//! must wait for that subflow's RTO — which is exactly what inflates short
+//! flow completion times as the number of subflows grows (Figure 1(a)/(b)).
+
+use crate::config::TransportConfig;
+use crate::subflow::{LiaParams, Subflow, SubflowUpdate};
+use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, PacketKind, Signal, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How the connection-level scheduler assigns data to subflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MptcpScheduler {
+    /// Round-robin over subflows with window space (the behaviour of the
+    /// authors' ns-3 model for homogeneous data-centre paths).
+    #[default]
+    RoundRobin,
+    /// Prefer the established subflow with the lowest smoothed RTT.
+    LowestRtt,
+}
+
+/// MPTCP-specific configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MptcpConfig {
+    /// Per-subflow TCP parameters.
+    pub transport: TransportConfig,
+    /// Number of subflows to open.
+    pub num_subflows: usize,
+    /// Whether to couple the subflows' congestion avoidance (LIA). Turning it
+    /// off gives "uncoupled" MPTCP, an ablation the literature often reports.
+    pub coupled: bool,
+    /// Data-to-subflow scheduling policy.
+    pub scheduler: MptcpScheduler,
+    /// When true (the default, and what RFC 6824 mandates) only the initial
+    /// subflow performs the opening handshake; the additional subflows join
+    /// once it is established (MP_JOIN needs the token from the MP_CAPABLE
+    /// exchange). When false all subflows send their SYN simultaneously — an
+    /// idealisation some simulators use, which masks initial-SYN losses and
+    /// therefore flatters MPTCP's short-flow tail.
+    pub join_after_initial: bool,
+}
+
+impl Default for MptcpConfig {
+    fn default() -> Self {
+        MptcpConfig {
+            transport: TransportConfig::default(),
+            num_subflows: 8,
+            coupled: true,
+            scheduler: MptcpScheduler::RoundRobin,
+            join_after_initial: true,
+        }
+    }
+}
+
+impl MptcpConfig {
+    /// Config with `n` subflows and defaults otherwise.
+    pub fn with_subflows(n: usize) -> Self {
+        MptcpConfig {
+            num_subflows: n,
+            ..MptcpConfig::default()
+        }
+    }
+}
+
+/// Compute RFC 6356's `alpha` from the state of the established subflows.
+///
+/// `alpha = tot_cwnd * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i / rtt_i)^2`
+///
+/// Subflows without an RTT sample yet are ignored; if nothing qualifies the
+/// result falls back to `alpha = 1` (plain Reno behaviour).
+pub fn compute_lia(subflows: &[Subflow]) -> LiaParams {
+    let mut total_cwnd = 0.0_f64;
+    let mut max_term = 0.0_f64;
+    let mut sum_term = 0.0_f64;
+    for sf in subflows.iter().filter(|s| s.is_established()) {
+        let cwnd = sf.cwnd();
+        total_cwnd += cwnd;
+        let rtt = sf
+            .srtt()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+            .max(1e-6);
+        max_term = max_term.max(cwnd / (rtt * rtt));
+        sum_term += cwnd / rtt;
+    }
+    let alpha = if sum_term > 0.0 && total_cwnd > 0.0 {
+        total_cwnd * max_term / (sum_term * sum_term)
+    } else {
+        1.0
+    };
+    LiaParams {
+        alpha,
+        total_cwnd_bytes: total_cwnd.max(1.0),
+    }
+}
+
+/// A Multi-Path TCP sender.
+#[derive(Debug)]
+pub struct MptcpSender {
+    cfg: MptcpConfig,
+    flow: FlowId,
+    total: Option<u64>,
+    subflows: Vec<Subflow>,
+    next_data_seq: u64,
+    data_acked: u64,
+    rr_cursor: usize,
+    started_at: Option<SimTime>,
+    /// True once the additional (MP_JOIN) subflows have been started.
+    joined: bool,
+    completed: bool,
+}
+
+impl MptcpSender {
+    /// Create an MPTCP sender. Subflow source ports are `base_src_port`,
+    /// `base_src_port + 1`, … so each subflow hashes to (generally) a
+    /// different ECMP path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: MptcpConfig,
+        flow: FlowId,
+        src: Addr,
+        dst: Addr,
+        base_src_port: u16,
+        dst_port: u16,
+        total: Option<u64>,
+    ) -> Self {
+        assert!(cfg.num_subflows >= 1, "MPTCP needs at least one subflow");
+        assert!(cfg.num_subflows <= 64, "unreasonable subflow count");
+        let subflows = (0..cfg.num_subflows)
+            .map(|i| {
+                Subflow::new(
+                    cfg.transport,
+                    i as u8,
+                    false,
+                    src,
+                    dst,
+                    base_src_port.wrapping_add(i as u16),
+                    dst_port,
+                    flow,
+                )
+            })
+            .collect();
+        MptcpSender {
+            cfg,
+            flow,
+            total,
+            subflows,
+            next_data_seq: 0,
+            data_acked: 0,
+            rr_cursor: 0,
+            started_at: None,
+            joined: false,
+            completed: false,
+        }
+    }
+
+    /// Connection-level bytes acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.data_acked
+    }
+
+    /// Has the whole transfer been acknowledged?
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// The subflows (for inspection in tests / metrics).
+    pub fn subflows(&self) -> &[Subflow] {
+        &self.subflows
+    }
+
+    /// Total retransmission timeouts across all subflows.
+    pub fn total_rtos(&self) -> u64 {
+        self.subflows.iter().map(|s| s.counters().rto_count).sum()
+    }
+
+    fn remaining(&self) -> u64 {
+        match self.total {
+            Some(t) => t.saturating_sub(self.next_data_seq),
+            None => u64::MAX,
+        }
+    }
+
+    fn lia(&self) -> Option<LiaParams> {
+        if self.cfg.coupled {
+            Some(compute_lia(&self.subflows))
+        } else {
+            None
+        }
+    }
+
+    /// Pick the next subflow to receive a chunk, honouring the scheduler.
+    fn pick_subflow(&mut self, len: u64) -> Option<usize> {
+        let n = self.subflows.len();
+        match self.cfg.scheduler {
+            MptcpScheduler::RoundRobin => {
+                for off in 0..n {
+                    let idx = (self.rr_cursor + off) % n;
+                    let sf = &self.subflows[idx];
+                    if sf.is_established() && sf.window_space() >= len {
+                        self.rr_cursor = (idx + 1) % n;
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+            MptcpScheduler::LowestRtt => self
+                .subflows
+                .iter()
+                .enumerate()
+                .filter(|(_, sf)| sf.is_established() && sf.window_space() >= len)
+                .min_by(|(_, a), (_, b)| {
+                    let ra = a.srtt().map(|d| d.as_nanos()).unwrap_or(u64::MAX);
+                    let rb = b.srtt().map(|d| d.as_nanos()).unwrap_or(u64::MAX);
+                    ra.cmp(&rb)
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut AgentCtx<'_>) {
+        loop {
+            let remaining = self.remaining();
+            if remaining == 0 {
+                break;
+            }
+            let len = (self.cfg.transport.mss as u64).min(remaining);
+            let Some(idx) = self.pick_subflow(len) else {
+                break;
+            };
+            self.subflows[idx].send_segment(ctx, self.next_data_seq, len as u32);
+            self.next_data_seq += len;
+        }
+    }
+
+    fn check_completion(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.completed {
+            return;
+        }
+        if let Some(total) = self.total {
+            if self.data_acked >= total {
+                self.completed = true;
+                ctx.signal(Signal::FlowCompleted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: total,
+                });
+            }
+        }
+    }
+
+    /// Dispatch a packet to its subflow. Returns the subflow update.
+    fn route_packet(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        pkt: &netsim::Packet,
+    ) -> SubflowUpdate {
+        let lia = self.lia();
+        let idx = pkt.subflow as usize;
+        if idx >= self.subflows.len() {
+            return SubflowUpdate::default();
+        }
+        self.subflows[idx].on_packet(ctx, pkt, lia)
+    }
+}
+
+impl Agent for MptcpSender {
+    fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+        match event {
+            AgentEvent::Start => {
+                self.started_at = Some(ctx.now());
+                ctx.signal(Signal::FlowStarted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: self.total.unwrap_or(u64::MAX),
+                });
+                if self.cfg.join_after_initial {
+                    // RFC 6824 semantics: MP_CAPABLE on the initial subflow
+                    // first; MP_JOINs follow once it is established.
+                    self.subflows[0].start(ctx);
+                } else {
+                    for sf in &mut self.subflows {
+                        sf.start(ctx);
+                    }
+                    self.joined = true;
+                }
+            }
+            AgentEvent::Packet(pkt) => {
+                if matches!(pkt.kind, PacketKind::Ack | PacketKind::SynAck) {
+                    self.data_acked = self.data_acked.max(pkt.data_ack);
+                    self.route_packet(ctx, &pkt);
+                    if !self.joined && self.subflows[0].is_established() {
+                        self.joined = true;
+                        for sf in self.subflows.iter_mut().skip(1) {
+                            sf.start(ctx);
+                        }
+                    }
+                    self.pump(ctx);
+                    self.check_completion(ctx);
+                }
+            }
+            AgentEvent::Timer(token) => {
+                let (idx, gen) = Subflow::decode_timer_token(token);
+                if (idx as usize) < self.subflows.len() {
+                    self.subflows[idx as usize].on_timer(ctx, gen);
+                }
+                self.pump(ctx);
+            }
+            AgentEvent::Finalize => {
+                if !self.completed {
+                    ctx.signal(Signal::FlowProgress {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: self.data_acked,
+                    });
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "mptcp-sender({}, {} subflows, {:?} bytes)",
+            self.flow,
+            self.subflows.len(),
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::TransportReceiver;
+    use netsim::{Packet, SimDuration, SimRng};
+
+    /// Ideal-network harness: every packet sent is delivered next "round".
+    struct Loop {
+        tx: MptcpSender,
+        rx: TransportReceiver,
+        rng: SimRng,
+        timers: Vec<(SimTime, u64)>,
+        signals: Vec<Signal>,
+        now: SimTime,
+        to_rx: Vec<Packet>,
+        to_tx: Vec<Packet>,
+    }
+
+    impl Loop {
+        fn new(cfg: MptcpConfig, total: u64) -> Self {
+            let flow = FlowId(1);
+            Loop {
+                tx: MptcpSender::new(cfg, flow, Addr(0), Addr(1), 50_000, 80, Some(total)),
+                rx: TransportReceiver::new(flow),
+                rng: SimRng::new(5),
+                timers: Vec::new(),
+                signals: Vec::new(),
+                now: SimTime::from_millis(1),
+                to_rx: Vec::new(),
+                to_tx: Vec::new(),
+            }
+        }
+
+        fn start(&mut self) {
+            let mut out = Vec::new();
+            let mut ctx = AgentCtx::new(
+                self.now,
+                FlowId(1),
+                &mut self.rng,
+                &mut out,
+                &mut self.timers,
+                &mut self.signals,
+            );
+            self.tx.handle(&mut ctx, AgentEvent::Start);
+            self.to_rx.extend(out);
+        }
+
+        /// One round trip: deliver sender packets (optionally dropping by
+        /// predicate), collect ACKs, deliver them back.
+        fn round(&mut self, mut drop: impl FnMut(&Packet) -> bool) {
+            self.now = self.now + SimDuration::from_micros(100);
+            let mut acks = Vec::new();
+            for pkt in std::mem::take(&mut self.to_rx) {
+                if drop(&pkt) {
+                    continue;
+                }
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut acks,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.rx.handle(&mut ctx, AgentEvent::Packet(pkt));
+            }
+            self.to_tx.extend(acks);
+            self.now = self.now + SimDuration::from_micros(100);
+            let mut out = Vec::new();
+            for pkt in std::mem::take(&mut self.to_tx) {
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut out,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.tx.handle(&mut ctx, AgentEvent::Packet(pkt));
+            }
+            self.to_rx.extend(out);
+            // Fire due timers.
+            let due: Vec<(SimTime, u64)> = self
+                .timers
+                .iter()
+                .copied()
+                .filter(|(t, _)| *t <= self.now)
+                .collect();
+            self.timers.retain(|(t, _)| *t > self.now);
+            for (_, token) in due {
+                let mut out = Vec::new();
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut out,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.tx.handle(&mut ctx, AgentEvent::Timer(token));
+                self.to_rx.extend(out);
+            }
+            if self.to_rx.is_empty() && self.to_tx.is_empty() && !self.tx.is_completed() {
+                if let Some(&(t, _)) = self.timers.iter().min_by_key(|(t, _)| *t) {
+                    self.now = t;
+                }
+            }
+        }
+
+        fn run(&mut self, max_rounds: usize, mut drop: impl FnMut(&Packet) -> bool) {
+            self.start();
+            for _ in 0..max_rounds {
+                if self.tx.is_completed() {
+                    break;
+                }
+                self.round(&mut drop);
+            }
+        }
+    }
+
+    #[test]
+    fn all_subflows_carry_data() {
+        let mut l = Loop::new(MptcpConfig::with_subflows(4), 400_000);
+        l.run(2_000, |_| false);
+        assert!(l.tx.is_completed());
+        for sf in l.tx.subflows() {
+            assert!(
+                sf.counters().data_bytes_sent > 0,
+                "subflow {} never carried data",
+                sf.index
+            );
+        }
+        assert_eq!(l.tx.acked_bytes(), 400_000);
+    }
+
+    #[test]
+    fn distinct_source_ports_per_subflow() {
+        let tx = MptcpSender::new(
+            MptcpConfig::with_subflows(8),
+            FlowId(1),
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            Some(1_000),
+        );
+        let ports: std::collections::HashSet<u16> =
+            tx.subflows().iter().map(|s| s.src_port()).collect();
+        assert_eq!(ports.len(), 8);
+    }
+
+    #[test]
+    fn single_subflow_mptcp_behaves_like_tcp() {
+        let mut l = Loop::new(MptcpConfig::with_subflows(1), 70_000);
+        l.run(2_000, |_| false);
+        assert!(l.tx.is_completed());
+        assert_eq!(l.tx.total_rtos(), 0);
+    }
+
+    #[test]
+    fn loss_on_one_subflow_is_recovered_by_that_subflow() {
+        // Drop every data packet of subflow 2 once (the first copy).
+        let mut dropped = std::collections::HashSet::new();
+        let mut l = Loop::new(MptcpConfig::with_subflows(4), 200_000);
+        l.run(20_000, |p: &Packet| {
+            if p.kind == PacketKind::Data && p.subflow == 2 && !dropped.contains(&p.seq) {
+                dropped.insert(p.seq);
+                true
+            } else {
+                false
+            }
+        });
+        assert!(l.tx.is_completed(), "connection must eventually complete");
+        // Only subflow 2 performed retransmissions/timeouts.
+        for sf in l.tx.subflows() {
+            let recovering = sf.counters().fast_retransmits + sf.counters().rto_count;
+            if sf.index == 2 {
+                assert!(recovering > 0);
+            } else {
+                assert_eq!(recovering, 0, "subflow {} should be clean", sf.index);
+            }
+        }
+    }
+
+    #[test]
+    fn additional_subflows_join_after_initial_handshake() {
+        let mut l = Loop::new(MptcpConfig::with_subflows(8), 70_000);
+        l.start();
+        // Only the initial subflow's SYN is on the wire at connection start.
+        let syns: Vec<u8> = l
+            .to_rx
+            .iter()
+            .filter(|p| p.kind == PacketKind::Syn)
+            .map(|p| p.subflow)
+            .collect();
+        assert_eq!(syns, vec![0]);
+        // After one round trip the SYN-ACK arrives and the joins go out.
+        l.round(|_| false);
+        let joined: std::collections::HashSet<u8> = l
+            .to_rx
+            .iter()
+            .filter(|p| p.kind == PacketKind::Syn)
+            .map(|p| p.subflow)
+            .collect();
+        assert_eq!(joined.len(), 7, "seven MP_JOIN SYNs follow");
+        for _ in 0..2_000 {
+            if l.tx.is_completed() {
+                break;
+            }
+            l.round(|_| false);
+        }
+        assert!(l.tx.is_completed());
+    }
+
+    #[test]
+    fn simultaneous_start_is_available_as_an_idealisation() {
+        let cfg = MptcpConfig {
+            join_after_initial: false,
+            ..MptcpConfig::with_subflows(4)
+        };
+        let mut l = Loop::new(cfg, 70_000);
+        l.start();
+        let syns = l.to_rx.iter().filter(|p| p.kind == PacketKind::Syn).count();
+        assert_eq!(syns, 4);
+        for _ in 0..2_000 {
+            if l.tx.is_completed() {
+                break;
+            }
+            l.round(|_| false);
+        }
+        assert!(l.tx.is_completed());
+    }
+
+    #[test]
+    fn lost_initial_syn_stalls_the_whole_connection() {
+        // With RFC 6824 join semantics a lost MP_CAPABLE SYN cannot be masked
+        // by the other subflows: nothing moves until the retransmitted SYN
+        // succeeds one initial-RTO later.
+        let mut l = Loop::new(MptcpConfig::with_subflows(8), 10_000);
+        let mut dropped = false;
+        l.run(2, |p: &Packet| {
+            if !dropped && p.kind == PacketKind::Syn {
+                dropped = true;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(!l.tx.is_completed());
+        assert!(l.tx.subflows()[0].counters().rto_count >= 1);
+        assert_eq!(
+            l.tx.subflows()
+                .iter()
+                .map(|s| s.counters().data_bytes_sent)
+                .sum::<u64>(),
+            0,
+            "no data can flow before the initial subflow establishes"
+        );
+    }
+
+    #[test]
+    fn compute_lia_falls_back_to_reno_when_unmeasured() {
+        let subflows: Vec<Subflow> = Vec::new();
+        let p = compute_lia(&subflows);
+        assert_eq!(p.alpha, 1.0);
+    }
+
+    #[test]
+    fn lia_alpha_for_identical_subflows_is_about_one_over_n() {
+        // For n identical subflows, RFC 6356 gives alpha = 1/n of the total
+        // increase spread over them: alpha = tot * (c/r^2) / (n*c/r)^2
+        //   = tot * c / (n^2 c^2 / r^2 * r^2)   with tot = n*c  =>  1/n.
+        let mut l = Loop::new(MptcpConfig::with_subflows(4), 400_000);
+        l.run(200, |_| false);
+        let p = compute_lia(l.tx.subflows());
+        let cwnds: Vec<f64> = l.tx.subflows().iter().map(|s| s.cwnd()).collect();
+        let mean = cwnds.iter().sum::<f64>() / cwnds.len() as f64;
+        let spread = cwnds.iter().map(|c| (c - mean).abs()).fold(0.0, f64::max);
+        if spread < mean * 0.2 {
+            assert!(
+                (p.alpha - 0.25).abs() < 0.15,
+                "alpha {} should be near 1/n for similar subflows",
+                p.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_rtt_scheduler_completes() {
+        let cfg = MptcpConfig {
+            scheduler: MptcpScheduler::LowestRtt,
+            ..MptcpConfig::with_subflows(3)
+        };
+        let mut l = Loop::new(cfg, 100_000);
+        l.run(2_000, |_| false);
+        assert!(l.tx.is_completed());
+    }
+
+    #[test]
+    fn uncoupled_variant_completes() {
+        let cfg = MptcpConfig {
+            coupled: false,
+            ..MptcpConfig::with_subflows(4)
+        };
+        let mut l = Loop::new(cfg, 150_000);
+        l.run(2_000, |_| false);
+        assert!(l.tx.is_completed());
+    }
+}

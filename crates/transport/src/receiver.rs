@@ -1,0 +1,454 @@
+//! The connection receiver used by every transport variant.
+//!
+//! A single receiver implementation serves TCP, MPTCP, MMPTCP, packet-scatter
+//! and DCTCP senders: it acknowledges at *subflow* level (cumulative ACK per
+//! subflow, which is what drives the sender's loss detection) and reassembles
+//! at *connection* level (MPTCP data sequence numbers), echoing ECN marks and
+//! transmit timestamps back to the sender.
+
+use netsim::{Agent, AgentCtx, AgentEvent, Ecn, FlowId, Packet, PacketKind, Signal};
+use std::collections::{BTreeMap, HashMap};
+
+/// Reassembly state for one direction of one subflow.
+#[derive(Debug, Default, Clone)]
+struct SubflowRecv {
+    /// Next expected subflow-level byte.
+    rcv_nxt: u64,
+    /// Out-of-order byte ranges above `rcv_nxt` (start -> length).
+    ooo: BTreeMap<u64, u64>,
+}
+
+/// Statistics maintained by the receiver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverCounters {
+    /// Data packets received (including duplicates).
+    pub data_packets: u64,
+    /// Duplicate data packets received.
+    pub duplicate_packets: u64,
+    /// Data packets that arrived out of order at connection level.
+    pub out_of_order_packets: u64,
+    /// Distinct connection-level bytes received.
+    pub distinct_bytes: u64,
+}
+
+/// Insert `[seq, seq+len)` into a cumulative-plus-out-of-order tracker and
+/// return the number of *new* bytes it contributed. Advances `rcv_nxt` over
+/// any now-contiguous buffered ranges.
+fn insert_range(rcv_nxt: &mut u64, ooo: &mut BTreeMap<u64, u64>, seq: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let mut start = seq;
+    let end = seq + len;
+    if end <= *rcv_nxt {
+        return 0; // entirely duplicate
+    }
+    if start < *rcv_nxt {
+        start = *rcv_nxt;
+    }
+    // Check overlap with already-buffered ranges; clip against any range that
+    // covers part of [start, end). Ranges are non-overlapping by construction.
+    let mut new_bytes = 0;
+    let mut cursor = start;
+    while cursor < end {
+        // Find the buffered range that contains or follows `cursor`.
+        let covering = ooo
+            .range(..=cursor)
+            .next_back()
+            .filter(|(s, l)| **s + **l > cursor)
+            .map(|(s, l)| (*s, *l));
+        if let Some((s, l)) = covering {
+            cursor = s + l; // skip the already-buffered part
+            continue;
+        }
+        let next_start = ooo
+            .range(cursor..)
+            .next()
+            .map(|(s, _)| *s)
+            .unwrap_or(u64::MAX);
+        let piece_end = end.min(next_start);
+        if piece_end > cursor {
+            ooo.insert(cursor, piece_end - cursor);
+            new_bytes += piece_end - cursor;
+            cursor = piece_end;
+        } else {
+            break;
+        }
+    }
+    // Advance the cumulative pointer over contiguous buffered data.
+    while let Some((&s, &l)) = ooo.iter().next() {
+        if s <= *rcv_nxt {
+            let range_end = s + l;
+            ooo.remove(&s);
+            if range_end > *rcv_nxt {
+                *rcv_nxt = range_end;
+            }
+        } else {
+            break;
+        }
+    }
+    new_bytes
+}
+
+/// How often (in delivered bytes) the receiver emits a [`Signal::FlowProgress`]
+/// report. Long (background) flows therefore leave a time series of progress
+/// points, which lets the metrics layer compute their goodput over any fixed
+/// window — the measurement the paper's "same long-flow throughput" claim
+/// needs, independent of when the last short flow of a run finished.
+pub const PROGRESS_REPORT_STRIDE: u64 = 1_000_000;
+
+/// The receiving endpoint of a connection (any protocol variant).
+#[derive(Debug)]
+pub struct TransportReceiver {
+    flow: FlowId,
+    subflows: HashMap<u8, SubflowRecv>,
+    data_rcv_nxt: u64,
+    data_ooo: BTreeMap<u64, u64>,
+    counters: ReceiverCounters,
+    last_progress_report: u64,
+}
+
+impl TransportReceiver {
+    /// Create a receiver for `flow`.
+    pub fn new(flow: FlowId) -> Self {
+        TransportReceiver {
+            flow,
+            subflows: HashMap::new(),
+            data_rcv_nxt: 0,
+            data_ooo: BTreeMap::new(),
+            counters: ReceiverCounters::default(),
+            last_progress_report: 0,
+        }
+    }
+
+    /// Connection-level bytes received contiguously so far.
+    pub fn contiguous_bytes(&self) -> u64 {
+        self.data_rcv_nxt
+    }
+
+    /// Receiver counters.
+    pub fn counters(&self) -> ReceiverCounters {
+        self.counters
+    }
+
+    fn handle_syn(&mut self, ctx: &mut AgentCtx<'_>, pkt: &Packet) {
+        // Ensure subflow state exists.
+        self.subflows.entry(pkt.subflow).or_default();
+        let mut synack = pkt.reply_template();
+        synack.kind = PacketKind::SynAck;
+        synack.sent_at = pkt.sent_at; // echo for the sender's RTT sample
+        synack.ecn_echo = false;
+        ctx.send(synack);
+    }
+
+    fn handle_data(&mut self, ctx: &mut AgentCtx<'_>, pkt: &Packet) {
+        self.counters.data_packets += 1;
+        let sf = self.subflows.entry(pkt.subflow).or_default();
+        let len = pkt.payload as u64;
+
+        let was_expected = pkt.seq == sf.rcv_nxt;
+        let duplicate = pkt.seq + len <= sf.rcv_nxt;
+        if duplicate {
+            self.counters.duplicate_packets += 1;
+        } else if !was_expected {
+            self.counters.out_of_order_packets += 1;
+        }
+
+        // Subflow-level reassembly (drives the cumulative subflow ACK).
+        insert_range(&mut sf.rcv_nxt, &mut sf.ooo, pkt.seq, len);
+        let subflow_ack = sf.rcv_nxt;
+
+        // Connection-level reassembly (drives the data ACK).
+        let new_bytes = insert_range(
+            &mut self.data_rcv_nxt,
+            &mut self.data_ooo,
+            pkt.data_seq,
+            len,
+        );
+        self.counters.distinct_bytes += new_bytes;
+
+        // Acknowledge.
+        let mut ack = Packet::ack(
+            pkt.dst,
+            pkt.src,
+            pkt.dst_port,
+            pkt.src_port,
+            self.flow,
+            pkt.subflow,
+            subflow_ack,
+            self.data_rcv_nxt,
+            ctx.now(),
+        );
+        ack.sent_at = pkt.sent_at; // echo the transmit timestamp
+        ack.dup_hint = duplicate;
+        ack.ecn_echo = pkt.ecn == Ecn::CongestionExperienced;
+        ctx.send(ack);
+
+        // Periodic progress reports (roughly every PROGRESS_REPORT_STRIDE
+        // delivered bytes) so unbounded flows expose a goodput time series.
+        if self.data_rcv_nxt >= self.last_progress_report + PROGRESS_REPORT_STRIDE {
+            self.last_progress_report = self.data_rcv_nxt;
+            ctx.signal(Signal::FlowProgress {
+                flow: self.flow,
+                at: ctx.now(),
+                bytes: self.data_rcv_nxt,
+            });
+        }
+    }
+}
+
+impl Agent for TransportReceiver {
+    fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+        match event {
+            AgentEvent::Packet(pkt) => match pkt.kind {
+                PacketKind::Syn => self.handle_syn(ctx, &pkt),
+                PacketKind::Data | PacketKind::Fin => self.handle_data(ctx, &pkt),
+                _ => {}
+            },
+            AgentEvent::Finalize => {
+                ctx.signal(Signal::FlowProgress {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: self.data_rcv_nxt,
+                });
+            }
+            AgentEvent::Start | AgentEvent::Timer(_) => {}
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("receiver({})", self.flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Addr, SimRng, SimTime};
+
+    struct Harness {
+        rng: SimRng,
+        out: Vec<Packet>,
+        timers: Vec<(SimTime, u64)>,
+        signals: Vec<Signal>,
+        now: SimTime,
+    }
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                rng: SimRng::new(1),
+                out: Vec::new(),
+                timers: Vec::new(),
+                signals: Vec::new(),
+                now: SimTime::from_millis(1),
+            }
+        }
+        fn deliver(&mut self, rx: &mut TransportReceiver, pkt: Packet) -> Vec<Packet> {
+            let mut ctx = AgentCtx::new(
+                self.now,
+                FlowId(1),
+                &mut self.rng,
+                &mut self.out,
+                &mut self.timers,
+                &mut self.signals,
+            );
+            rx.handle(&mut ctx, AgentEvent::Packet(pkt));
+            self.out.drain(..).collect()
+        }
+    }
+
+    fn data(subflow: u8, seq: u64, data_seq: u64, len: u32) -> Packet {
+        Packet::data(
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            FlowId(1),
+            subflow,
+            seq,
+            data_seq,
+            len,
+            SimTime::from_micros(500),
+        )
+    }
+
+    #[test]
+    fn insert_range_basics() {
+        let mut rcv_nxt = 0;
+        let mut ooo = BTreeMap::new();
+        assert_eq!(insert_range(&mut rcv_nxt, &mut ooo, 0, 100), 100);
+        assert_eq!(rcv_nxt, 100);
+        // Duplicate contributes nothing.
+        assert_eq!(insert_range(&mut rcv_nxt, &mut ooo, 0, 100), 0);
+        // Gap: buffered but not advanced.
+        assert_eq!(insert_range(&mut rcv_nxt, &mut ooo, 200, 100), 100);
+        assert_eq!(rcv_nxt, 100);
+        // Filling the gap advances over both.
+        assert_eq!(insert_range(&mut rcv_nxt, &mut ooo, 100, 100), 100);
+        assert_eq!(rcv_nxt, 300);
+        assert!(ooo.is_empty());
+    }
+
+    #[test]
+    fn insert_range_partial_overlap() {
+        let mut rcv_nxt = 0;
+        let mut ooo = BTreeMap::new();
+        insert_range(&mut rcv_nxt, &mut ooo, 100, 100);
+        // Overlaps the buffered range on both sides.
+        let added = insert_range(&mut rcv_nxt, &mut ooo, 50, 200);
+        assert_eq!(added, 100, "only the non-overlapping parts count");
+        assert_eq!(rcv_nxt, 0);
+        insert_range(&mut rcv_nxt, &mut ooo, 0, 50);
+        assert_eq!(rcv_nxt, 250);
+    }
+
+    #[test]
+    fn syn_gets_synack_with_echoed_timestamp() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        let mut syn = data(0, 0, 0, 0);
+        syn.kind = PacketKind::Syn;
+        let replies = h.deliver(&mut rx, syn.clone());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].kind, PacketKind::SynAck);
+        assert_eq!(replies[0].sent_at, syn.sent_at);
+        assert_eq!(replies[0].dst, syn.src);
+    }
+
+    #[test]
+    fn in_order_data_advances_both_ack_levels() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        let a1 = h.deliver(&mut rx, data(0, 0, 0, 1400));
+        assert_eq!(a1[0].ack, 1400);
+        assert_eq!(a1[0].data_ack, 1400);
+        let a2 = h.deliver(&mut rx, data(0, 1400, 1400, 1400));
+        assert_eq!(a2[0].ack, 2800);
+        assert_eq!(a2[0].data_ack, 2800);
+        assert_eq!(rx.contiguous_bytes(), 2800);
+        assert_eq!(rx.counters().out_of_order_packets, 0);
+    }
+
+    #[test]
+    fn out_of_order_data_generates_duplicate_acks() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        h.deliver(&mut rx, data(0, 0, 0, 1400));
+        // Segment 2 arrives before segment 1.
+        let a = h.deliver(&mut rx, data(0, 2800, 2800, 1400));
+        assert_eq!(a[0].ack, 1400, "cumulative ACK does not advance");
+        assert!(!a[0].dup_hint);
+        // The missing segment fills the hole.
+        let a = h.deliver(&mut rx, data(0, 1400, 1400, 1400));
+        assert_eq!(a[0].ack, 4200);
+        assert_eq!(a[0].data_ack, 4200);
+        assert_eq!(rx.counters().out_of_order_packets, 1);
+    }
+
+    #[test]
+    fn duplicate_data_sets_dup_hint() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        h.deliver(&mut rx, data(0, 0, 0, 1400));
+        let a = h.deliver(&mut rx, data(0, 0, 0, 1400));
+        assert!(a[0].dup_hint);
+        assert_eq!(rx.counters().duplicate_packets, 1);
+        assert_eq!(rx.contiguous_bytes(), 1400);
+    }
+
+    #[test]
+    fn multiple_subflows_reassemble_one_data_stream() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        // Subflow 1 carries connection bytes 0..1400, subflow 2 carries
+        // 1400..2800 — each with its own subflow sequence space starting at 0.
+        let a = h.deliver(&mut rx, data(1, 0, 0, 1400));
+        assert_eq!(a[0].ack, 1400);
+        assert_eq!(a[0].data_ack, 1400);
+        let a = h.deliver(&mut rx, data(2, 0, 1400, 1400));
+        assert_eq!(a[0].ack, 1400, "subflow 2's own cumulative ack");
+        assert_eq!(a[0].data_ack, 2800, "connection-level data ack");
+        assert_eq!(a[0].subflow, 2);
+    }
+
+    #[test]
+    fn connection_level_ack_waits_for_holes_across_subflows() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        // Subflow 2 delivers bytes 1400..2800 first.
+        let a = h.deliver(&mut rx, data(2, 0, 1400, 1400));
+        assert_eq!(a[0].data_ack, 0);
+        // Subflow 1 then fills 0..1400.
+        let a = h.deliver(&mut rx, data(1, 0, 0, 1400));
+        assert_eq!(a[0].data_ack, 2800);
+    }
+
+    #[test]
+    fn ecn_marks_are_echoed() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        let mut p = data(0, 0, 0, 1400);
+        p.ecn = Ecn::CongestionExperienced;
+        let a = h.deliver(&mut rx, p);
+        assert!(a[0].ecn_echo);
+        let a = h.deliver(&mut rx, data(0, 1400, 1400, 1400));
+        assert!(!a[0].ecn_echo);
+    }
+
+    #[test]
+    fn periodic_progress_reports_every_stride() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        let seg = 100_000u64;
+        let mut delivered = 0u64;
+        while delivered < 2 * PROGRESS_REPORT_STRIDE + seg {
+            h.deliver(&mut rx, data(0, delivered, delivered, seg as u32));
+            delivered += seg;
+        }
+        let reports: Vec<u64> = h
+            .signals
+            .iter()
+            .filter_map(|s| match s {
+                Signal::FlowProgress { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports.len(), 2, "one report per stride crossed");
+        assert!(reports[0] >= PROGRESS_REPORT_STRIDE);
+        assert!(reports[1] >= 2 * PROGRESS_REPORT_STRIDE);
+        assert!(reports.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn short_flows_emit_no_periodic_progress() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        for i in 0..50u64 {
+            h.deliver(&mut rx, data(0, i * 1400, i * 1400, 1400));
+        }
+        assert!(h
+            .signals
+            .iter()
+            .all(|s| !matches!(s, Signal::FlowProgress { .. })));
+    }
+
+    #[test]
+    fn finalize_reports_progress() {
+        let mut h = Harness::new();
+        let mut rx = TransportReceiver::new(FlowId(1));
+        h.deliver(&mut rx, data(0, 0, 0, 1400));
+        let mut ctx = AgentCtx::new(
+            h.now,
+            FlowId(1),
+            &mut h.rng,
+            &mut h.out,
+            &mut h.timers,
+            &mut h.signals,
+        );
+        rx.handle(&mut ctx, AgentEvent::Finalize);
+        assert!(matches!(
+            h.signals.last().unwrap(),
+            Signal::FlowProgress { bytes: 1400, .. }
+        ));
+    }
+}

@@ -1,0 +1,1092 @@
+//! The per-path TCP engine ("subflow").
+//!
+//! A [`Subflow`] is a complete single-path TCP sender state machine: SYN
+//! handshake, sliding window, slow start / congestion avoidance, duplicate-ACK
+//! counting with a configurable threshold, fast retransmit + NewReno-style
+//! fast recovery, RTO with exponential backoff, and optional DCTCP-style ECN
+//! reaction.
+//!
+//! Every transport in this crate is built out of subflows:
+//! * plain TCP is one subflow whose data sequence equals its subflow sequence;
+//! * MPTCP is N subflows fed by a connection-level scheduler and coupled by
+//!   LIA congestion control;
+//! * MMPTCP starts with a single *packet-scatter* subflow (source port
+//!   randomised per packet, high duplicate-ACK threshold) and later opens
+//!   MPTCP subflows;
+//! * DCTCP is one subflow with `ecn` enabled.
+
+use crate::config::TransportConfig;
+use crate::rtt::RttEstimator;
+use netsim::{Addr, AgentCtx, Ecn, FlowId, Packet, PacketKind, Signal, SimTime};
+use std::collections::BTreeMap;
+
+/// Parameters of MPTCP's Linked-Increase (coupled) congestion control for one
+/// ACK, computed by the connection from the state of all subflows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiaParams {
+    /// The aggressiveness factor `alpha` of RFC 6356.
+    pub alpha: f64,
+    /// Sum of the congestion windows of all established subflows, in bytes.
+    pub total_cwnd_bytes: f64,
+}
+
+/// What happened inside the subflow while processing an event; connections use
+/// this to drive phase switches and coupled congestion control.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SubflowUpdate {
+    /// The subflow completed its handshake during this activation.
+    pub became_established: bool,
+    /// A congestion event (fast retransmit or RTO) occurred.
+    pub congestion_event: bool,
+    /// Subflow-level bytes newly acknowledged by this activation.
+    pub newly_acked: u64,
+}
+
+impl SubflowUpdate {
+    fn merge(&mut self, other: SubflowUpdate) {
+        self.became_established |= other.became_established;
+        self.congestion_event |= other.congestion_event;
+        self.newly_acked += other.newly_acked;
+    }
+}
+
+/// Handshake / lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Closed,
+    SynSent,
+    Established,
+}
+
+/// Per-subflow counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubflowCounters {
+    /// Retransmission timeouts that fired.
+    pub rto_count: u64,
+    /// Fast retransmissions triggered.
+    pub fast_retransmits: u64,
+    /// Retransmissions judged spurious (the original had in fact arrived).
+    pub spurious_retransmits: u64,
+    /// Data packets sent (including retransmissions).
+    pub data_packets_sent: u64,
+    /// Data bytes sent (including retransmissions).
+    pub data_bytes_sent: u64,
+}
+
+/// A single-path TCP sender engine.
+#[derive(Debug)]
+pub struct Subflow {
+    cfg: TransportConfig,
+    /// Subflow index within the connection.
+    pub index: u8,
+    /// When true, every outgoing data packet gets a freshly randomised source
+    /// port so ECMP sprays packets over all available paths (MMPTCP PS phase).
+    pub scatter: bool,
+    src: Addr,
+    dst: Addr,
+    src_port: u16,
+    dst_port: u16,
+    flow: FlowId,
+
+    phase: Phase,
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    dupack_threshold: u32,
+    in_recovery: bool,
+    recover: u64,
+    /// When true, a fast retransmission later found to be spurious (the
+    /// receiver reports the original arrived after all) undoes the congestion
+    /// response: cwnd/ssthresh are restored to their pre-recovery values and
+    /// any remaining recovery state is cleared. This is the RR-TCP/Eifel-style
+    /// reaction the paper cites for the packet-scatter phase, where reordering
+    /// routinely masquerades as loss.
+    undo_on_spurious: bool,
+    /// True from entering a fast-recovery episode until either an undo is
+    /// performed or an RTO fires (timeouts are never undone).
+    undo_armed: bool,
+    prior_cwnd: f64,
+    prior_ssthresh: f64,
+    rtt: RttEstimator,
+
+    /// Pending RTO deadline and the generation of the last armed timer.
+    rto_deadline: Option<SimTime>,
+    timer_gen: u64,
+
+    /// Mapping from subflow sequence to (connection data sequence, length)
+    /// for every byte range that is unacknowledged at subflow level.
+    mappings: BTreeMap<u64, (u64, u32)>,
+
+    /// Sequence number of the most recent retransmission (for spurious
+    /// retransmission detection via receiver duplicate hints).
+    last_retransmitted: Option<u64>,
+
+    // DCTCP state.
+    ecn_marked_bytes: u64,
+    ecn_total_bytes: u64,
+    dctcp_alpha: f64,
+    dctcp_window_end: u64,
+    /// Exponent applied to the marked fraction when reducing the window:
+    /// 1.0 is plain DCTCP; D²TCP's deadline-aware "gamma correction" uses
+    /// `d = Tc / D` (time needed over time remaining), so far-from-deadline
+    /// flows back off more and near-deadline flows less.
+    dctcp_penalty_exponent: f64,
+
+    counters: SubflowCounters,
+}
+
+impl Subflow {
+    /// Create a subflow in the `Closed` state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: TransportConfig,
+        index: u8,
+        scatter: bool,
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        flow: FlowId,
+    ) -> Self {
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.initial_rto, cfg.max_rto);
+        Subflow {
+            dupack_threshold: cfg.dupack_threshold,
+            cfg,
+            index,
+            scatter,
+            src,
+            dst,
+            src_port,
+            dst_port,
+            flow,
+            phase: Phase::Closed,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: 0.0,
+            ssthresh: cfg.initial_ssthresh as f64,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            undo_on_spurious: false,
+            undo_armed: false,
+            prior_cwnd: 0.0,
+            prior_ssthresh: 0.0,
+            rtt,
+            rto_deadline: None,
+            timer_gen: 0,
+            mappings: BTreeMap::new(),
+            last_retransmitted: None,
+            ecn_marked_bytes: 0,
+            ecn_total_bytes: 0,
+            dctcp_alpha: 0.0,
+            dctcp_window_end: 0,
+            dctcp_penalty_exponent: 1.0,
+            counters: SubflowCounters::default(),
+        }
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// Has the handshake completed?
+    pub fn is_established(&self) -> bool {
+        self.phase == Phase::Established
+    }
+
+    /// Congestion window in bytes.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<netsim::SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Bytes in flight at subflow level.
+    pub fn outstanding(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Subflow-level bytes acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// True when the subflow holds no unacknowledged data.
+    pub fn is_drained(&self) -> bool {
+        self.mappings.is_empty() && self.outstanding() == 0
+    }
+
+    /// How many more bytes the congestion window allows in flight right now.
+    pub fn window_space(&self) -> u64 {
+        if self.phase != Phase::Established {
+            return 0;
+        }
+        let flight = self.outstanding() as f64;
+        if self.cwnd > flight {
+            (self.cwnd - flight) as u64
+        } else {
+            0
+        }
+    }
+
+    /// The current duplicate-ACK threshold.
+    pub fn dupack_threshold(&self) -> u32 {
+        self.dupack_threshold
+    }
+
+    /// Override the duplicate-ACK threshold (used by MMPTCP's topology-aware
+    /// and adaptive reordering policies).
+    pub fn set_dupack_threshold(&mut self, threshold: u32) {
+        self.dupack_threshold = threshold.max(1);
+    }
+
+    /// Enable or disable the RR-TCP-style undo of spurious fast retransmits.
+    pub fn set_undo_on_spurious(&mut self, enabled: bool) {
+        self.undo_on_spurious = enabled;
+    }
+
+    /// Whether the subflow is currently in (fast or timeout) recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// Per-subflow counters.
+    pub fn counters(&self) -> SubflowCounters {
+        self.counters
+    }
+
+    /// The DCTCP marked-fraction estimate (0 when ECN is off).
+    pub fn dctcp_alpha(&self) -> f64 {
+        self.dctcp_alpha
+    }
+
+    /// Set D²TCP's deadline-imminence exponent `d` (clamped to a sane range;
+    /// 1.0 reproduces plain DCTCP). Values below 1 make the flow hold its
+    /// window near a deadline; values above 1 make it yield.
+    pub fn set_dctcp_penalty_exponent(&mut self, d: f64) {
+        self.dctcp_penalty_exponent = d.clamp(0.25, 4.0);
+    }
+
+    /// The current D²TCP deadline-imminence exponent.
+    pub fn dctcp_penalty_exponent(&self) -> f64 {
+        self.dctcp_penalty_exponent
+    }
+
+    /// The source port this subflow is pinned to (ignored per-packet when
+    /// `scatter` is on).
+    pub fn src_port(&self) -> u16 {
+        self.src_port
+    }
+
+    // --- lifecycle --------------------------------------------------------
+
+    /// Begin the handshake: send a SYN and arm the retransmission timer.
+    pub fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+        assert_eq!(self.phase, Phase::Closed, "subflow already started");
+        self.phase = Phase::SynSent;
+        self.send_syn(ctx);
+    }
+
+    fn send_syn(&mut self, ctx: &mut AgentCtx<'_>) {
+        let mut syn = Packet::data(
+            self.src,
+            self.dst,
+            self.pick_port(ctx),
+            self.dst_port,
+            self.flow,
+            self.index,
+            0,
+            0,
+            0,
+            ctx.now(),
+        );
+        syn.kind = PacketKind::Syn;
+        if self.cfg.ecn {
+            syn.ecn = Ecn::Capable;
+        }
+        ctx.send(syn);
+        self.arm_timer(ctx);
+    }
+
+    fn pick_port(&self, ctx: &mut AgentCtx<'_>) -> u16 {
+        if self.scatter {
+            ctx.rng().ephemeral_port()
+        } else {
+            self.src_port
+        }
+    }
+
+    // --- timers -----------------------------------------------------------
+
+    /// Encode this subflow's timer token (subflow index in the top bits,
+    /// generation below), so one agent can multiplex many subflows over the
+    /// single timer token namespace.
+    pub fn timer_token(index: u8, gen: u64) -> u64 {
+        ((index as u64) << 48) | (gen & 0xFFFF_FFFF_FFFF)
+    }
+
+    /// Decode a timer token into (subflow index, generation).
+    pub fn decode_timer_token(token: u64) -> (u8, u64) {
+        ((token >> 48) as u8, token & 0xFFFF_FFFF_FFFF)
+    }
+
+    fn arm_timer(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.timer_gen += 1;
+        let deadline = ctx.now() + self.rtt.rto();
+        self.rto_deadline = Some(deadline);
+        ctx.set_timer(deadline, Self::timer_token(self.index, self.timer_gen));
+    }
+
+    fn cancel_timer(&mut self) {
+        self.rto_deadline = None;
+        self.timer_gen += 1;
+    }
+
+    /// Handle a timer firing for this subflow. `gen` is the generation part of
+    /// the token; stale timers are ignored.
+    pub fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, gen: u64) -> SubflowUpdate {
+        let mut update = SubflowUpdate::default();
+        if gen != self.timer_gen || self.rto_deadline.is_none() {
+            return update; // stale or cancelled
+        }
+        match self.phase {
+            Phase::Closed => {}
+            Phase::SynSent => {
+                // Lost SYN: back off and retry.
+                self.rtt.backoff();
+                self.counters.rto_count += 1;
+                update.congestion_event = true;
+                ctx.signal(Signal::RetransmissionTimeout {
+                    flow: self.flow,
+                    subflow: self.index,
+                    at: ctx.now(),
+                });
+                self.send_syn(ctx);
+            }
+            Phase::Established => {
+                if self.is_drained() {
+                    self.cancel_timer();
+                    return update;
+                }
+                // RFC 5681 timeout reaction. Entering the recovery state with
+                // `recover = snd_nxt` makes subsequent partial ACKs retransmit
+                // the remaining holes (go-back-N style, ACK clocked) instead of
+                // waiting one RTO per lost segment — essential when a burst
+                // overflows a drop-tail queue and the whole tail of the window
+                // is missing.
+                let flight = self.outstanding() as f64;
+                self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+                self.cwnd = self.cfg.mss as f64;
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.dup_acks = 0;
+                self.undo_armed = false;
+                self.rtt.backoff();
+                self.counters.rto_count += 1;
+                update.congestion_event = true;
+                ctx.signal(Signal::RetransmissionTimeout {
+                    flow: self.flow,
+                    subflow: self.index,
+                    at: ctx.now(),
+                });
+                self.retransmit_first_unacked(ctx);
+                self.arm_timer(ctx);
+            }
+        }
+        update
+    }
+
+    // --- sending ----------------------------------------------------------
+
+    /// Send one data segment carrying connection-level bytes
+    /// `[data_seq, data_seq + len)`. The caller is responsible for respecting
+    /// [`Subflow::window_space`].
+    pub fn send_segment(&mut self, ctx: &mut AgentCtx<'_>, data_seq: u64, len: u32) {
+        debug_assert!(self.phase == Phase::Established, "cannot send before handshake");
+        debug_assert!(len > 0 && len <= self.cfg.mss);
+        let seq = self.snd_nxt;
+        self.mappings.insert(seq, (data_seq, len));
+        self.snd_nxt += len as u64;
+        self.transmit(ctx, seq, data_seq, len, false);
+        if self.rto_deadline.is_none() {
+            self.arm_timer(ctx);
+        }
+    }
+
+    fn transmit(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        seq: u64,
+        data_seq: u64,
+        len: u32,
+        is_retransmit: bool,
+    ) {
+        let mut pkt = Packet::data(
+            self.src,
+            self.dst,
+            self.pick_port(ctx),
+            self.dst_port,
+            self.flow,
+            self.index,
+            seq,
+            data_seq,
+            len,
+            ctx.now(),
+        );
+        if self.cfg.ecn {
+            pkt.ecn = Ecn::Capable;
+        }
+        self.counters.data_packets_sent += 1;
+        self.counters.data_bytes_sent += len as u64;
+        if is_retransmit {
+            self.last_retransmitted = Some(seq);
+        }
+        ctx.send(pkt);
+    }
+
+    fn retransmit_first_unacked(&mut self, ctx: &mut AgentCtx<'_>) {
+        // Find the mapping that covers snd_una (segments are atomic, so an
+        // exact or preceding entry covers it).
+        let entry = self
+            .mappings
+            .range(..=self.snd_una)
+            .next_back()
+            .map(|(s, m)| (*s, *m))
+            .or_else(|| self.mappings.range(self.snd_una..).next().map(|(s, m)| (*s, *m)));
+        if let Some((seq, (data_seq, len))) = entry {
+            self.transmit(ctx, seq, data_seq, len, true);
+        }
+    }
+
+    // --- receiving --------------------------------------------------------
+
+    /// Process a packet addressed to this subflow (SYN-ACK or ACK).
+    ///
+    /// `lia` carries the coupled-congestion-control parameters when the
+    /// connection uses MPTCP's linked increase; `None` means plain Reno.
+    pub fn on_packet(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        pkt: &Packet,
+        lia: Option<LiaParams>,
+    ) -> SubflowUpdate {
+        let mut update = SubflowUpdate::default();
+        match pkt.kind {
+            PacketKind::SynAck => {
+                if self.phase == Phase::SynSent {
+                    self.phase = Phase::Established;
+                    self.cwnd = self.cfg.initial_cwnd_bytes();
+                    self.rtt.on_sample(ctx.now() - pkt.sent_at);
+                    self.cancel_timer();
+                    update.became_established = true;
+                }
+            }
+            PacketKind::Ack | PacketKind::FinAck => {
+                update.merge(self.on_ack(ctx, pkt, lia));
+            }
+            _ => {}
+        }
+        update
+    }
+
+    fn on_ack(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        pkt: &Packet,
+        lia: Option<LiaParams>,
+    ) -> SubflowUpdate {
+        let mut update = SubflowUpdate::default();
+        if self.phase != Phase::Established {
+            return update;
+        }
+        let ack = pkt.ack;
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            update.newly_acked = newly;
+            self.snd_una = ack;
+            self.drop_acked_mappings();
+            self.dup_acks = 0;
+            // RTT sample from the echoed transmit timestamp.
+            if pkt.sent_at > SimTime::ZERO {
+                self.rtt.on_sample(ctx.now() - pkt.sent_at);
+            }
+
+            if self.in_recovery {
+                if ack >= self.recover {
+                    // Full ACK: leave recovery.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
+                } else {
+                    // Partial ACK (NewReno): retransmit the next hole and stay
+                    // in recovery.
+                    self.retransmit_first_unacked(ctx);
+                }
+            } else {
+                self.increase_cwnd(newly, lia);
+            }
+
+            if self.cfg.ecn {
+                self.dctcp_on_ack(newly, pkt.ecn_echo);
+            }
+
+            if self.is_drained() {
+                self.cancel_timer();
+            } else {
+                self.arm_timer(ctx);
+            }
+        } else if self.outstanding() > 0 {
+            // Duplicate ACK.
+            if pkt.dup_hint {
+                if let Some(seq) = self.last_retransmitted {
+                    if seq < ack {
+                        self.counters.spurious_retransmits += 1;
+                        self.last_retransmitted = None;
+                        ctx.signal(Signal::SpuriousRetransmit {
+                            flow: self.flow,
+                            subflow: self.index,
+                            at: ctx.now(),
+                        });
+                        if self.undo_on_spurious && self.undo_armed {
+                            // RR-TCP/Eifel-style undo: the "loss" was in fact
+                            // reordering, so the window reduction (and any
+                            // remaining recovery state) is reverted.
+                            self.in_recovery = false;
+                            self.cwnd = self.prior_cwnd.max(self.cfg.mss as f64);
+                            self.ssthresh = self.prior_ssthresh.max(2.0 * self.cfg.mss as f64);
+                            self.dup_acks = 0;
+                            self.undo_armed = false;
+                        }
+                    }
+                }
+            }
+            self.dup_acks += 1;
+            if !self.in_recovery && self.dup_acks >= self.dupack_threshold {
+                // Fast retransmit + enter fast recovery.
+                let flight = self.outstanding() as f64;
+                self.prior_cwnd = self.cwnd;
+                self.prior_ssthresh = self.ssthresh;
+                self.undo_armed = true;
+                self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+                self.cwnd = self.ssthresh + 3.0 * self.cfg.mss as f64;
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.counters.fast_retransmits += 1;
+                update.congestion_event = true;
+                ctx.signal(Signal::FastRetransmit {
+                    flow: self.flow,
+                    subflow: self.index,
+                    at: ctx.now(),
+                });
+                self.retransmit_first_unacked(ctx);
+                self.arm_timer(ctx);
+            } else if self.in_recovery {
+                // Window inflation while the hole is being repaired.
+                self.cwnd += self.cfg.mss as f64;
+            }
+        }
+        update
+    }
+
+    fn drop_acked_mappings(&mut self) {
+        let una = self.snd_una;
+        while let Some((&seq, &(_, len))) = self.mappings.iter().next() {
+            if seq + len as u64 <= una {
+                self.mappings.remove(&seq);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn increase_cwnd(&mut self, newly_acked: u64, lia: Option<LiaParams>) {
+        let mss = self.cfg.mss as f64;
+        if self.cwnd < self.ssthresh {
+            // Slow start: one MSS per MSS acknowledged (ABC-limited to 2*MSS).
+            self.cwnd += (newly_acked as f64).min(2.0 * mss);
+        } else {
+            match lia {
+                None => {
+                    // Reno congestion avoidance.
+                    self.cwnd += mss * (newly_acked as f64) / self.cwnd;
+                }
+                Some(p) => {
+                    // RFC 6356 linked increase.
+                    let total = p.total_cwnd_bytes.max(mss);
+                    let coupled = p.alpha * (newly_acked as f64) * mss / total;
+                    let uncoupled = (newly_acked as f64) * mss / self.cwnd;
+                    self.cwnd += coupled.min(uncoupled);
+                }
+            }
+        }
+        // Never let cwnd collapse below one segment.
+        self.cwnd = self.cwnd.max(mss);
+    }
+
+    fn dctcp_on_ack(&mut self, newly_acked: u64, marked: bool) {
+        self.ecn_total_bytes += newly_acked;
+        if marked {
+            self.ecn_marked_bytes += newly_acked;
+        }
+        if self.snd_una >= self.dctcp_window_end {
+            if self.ecn_total_bytes > 0 {
+                let frac = self.ecn_marked_bytes as f64 / self.ecn_total_bytes as f64;
+                let g = self.cfg.dctcp_g;
+                self.dctcp_alpha = (1.0 - g) * self.dctcp_alpha + g * frac;
+                if self.ecn_marked_bytes > 0 {
+                    // DCTCP reduces by alpha/2; D²TCP gamma-corrects the
+                    // penalty with the deadline-imminence exponent.
+                    let penalty = self.dctcp_alpha.powf(self.dctcp_penalty_exponent);
+                    self.cwnd = (self.cwnd * (1.0 - penalty / 2.0)).max(self.cfg.mss as f64);
+                    self.ssthresh = self.cwnd;
+                }
+            }
+            self.ecn_total_bytes = 0;
+            self.ecn_marked_bytes = 0;
+            self.dctcp_window_end = self.snd_nxt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimDuration, SimRng};
+
+    const MSS: u32 = 1400;
+
+    struct Harness {
+        rng: SimRng,
+        out: Vec<Packet>,
+        timers: Vec<(SimTime, u64)>,
+        signals: Vec<Signal>,
+        now: SimTime,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                rng: SimRng::new(1),
+                out: Vec::new(),
+                timers: Vec::new(),
+                signals: Vec::new(),
+                now: SimTime::from_millis(1),
+            }
+        }
+        fn with<R>(&mut self, f: impl FnOnce(&mut AgentCtx<'_>) -> R) -> R {
+            let mut ctx = AgentCtx::new(
+                self.now,
+                FlowId(1),
+                &mut self.rng,
+                &mut self.out,
+                &mut self.timers,
+                &mut self.signals,
+            );
+            f(&mut ctx)
+        }
+        fn advance(&mut self, d: SimDuration) {
+            self.now = self.now + d;
+        }
+    }
+
+    fn subflow(scatter: bool) -> Subflow {
+        Subflow::new(
+            TransportConfig::default(),
+            0,
+            scatter,
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            FlowId(1),
+        )
+    }
+
+    /// Establish the subflow by simulating a SYN / SYN-ACK exchange.
+    fn establish(h: &mut Harness, sf: &mut Subflow) {
+        h.with(|ctx| sf.start(ctx));
+        assert_eq!(h.out.len(), 1);
+        let syn = h.out.pop().unwrap();
+        assert_eq!(syn.kind, PacketKind::Syn);
+        h.advance(SimDuration::from_micros(100));
+        let mut synack = syn.reply_template();
+        synack.kind = PacketKind::SynAck;
+        synack.sent_at = syn.sent_at;
+        let upd = h.with(|ctx| sf.on_packet(ctx, &synack, None));
+        assert!(upd.became_established);
+        assert!(sf.is_established());
+    }
+
+    fn ack_for(sf: &Subflow, ack: u64, sent_at: SimTime) -> Packet {
+        let mut p = Packet::ack(Addr(1), Addr(0), 80, 50_000, FlowId(1), sf.index, ack, ack, sent_at);
+        p.sent_at = sent_at;
+        p
+    }
+
+    #[test]
+    fn handshake_and_initial_window() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        assert_eq!(sf.cwnd(), (10 * MSS) as f64);
+        assert_eq!(sf.window_space(), (10 * MSS) as u64);
+        assert!(sf.srtt().is_some());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        let before = sf.cwnd();
+        // Send and ack one full initial window.
+        for i in 0..10u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        let sent_at = h.now;
+        h.advance(SimDuration::from_micros(200));
+        for i in 1..=10u64 {
+            let ack = ack_for(&sf, i * MSS as u64, sent_at);
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        // Slow start: cwnd should have grown by ~1 MSS per acked MSS.
+        assert!(
+            sf.cwnd() >= before + (9 * MSS) as f64,
+            "cwnd {} should have nearly doubled from {}",
+            sf.cwnd(),
+            before
+        );
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_slowly() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        // Force congestion avoidance by setting ssthresh below cwnd.
+        sf.ssthresh = sf.cwnd() / 2.0;
+        let before = sf.cwnd();
+        h.with(|ctx| sf.send_segment(ctx, 0, MSS));
+        let sent = h.now;
+        h.advance(SimDuration::from_micros(100));
+        let ack = ack_for(&sf, MSS as u64, sent);
+        h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        let growth = sf.cwnd() - before;
+        assert!(growth > 0.0 && growth < MSS as f64, "CA growth {growth}");
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        for i in 0..5u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        h.out.clear();
+        // Three duplicate ACKs for sequence 0 (first segment lost).
+        for _ in 0..3 {
+            let ack = ack_for(&sf, 0, SimTime::ZERO);
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        assert_eq!(sf.counters().fast_retransmits, 1);
+        // The retransmission is the segment starting at subflow seq 0.
+        let retx = h.out.iter().find(|p| p.kind == PacketKind::Data).unwrap();
+        assert_eq!(retx.seq, 0);
+        assert!(sf.in_recovery);
+        assert!(h
+            .signals
+            .iter()
+            .any(|s| matches!(s, Signal::FastRetransmit { .. })));
+    }
+
+    #[test]
+    fn high_dupack_threshold_tolerates_reordering() {
+        let mut h = Harness::new();
+        let mut sf = subflow(true);
+        sf.set_dupack_threshold(16);
+        establish(&mut h, &mut sf);
+        for i in 0..8u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        h.out.clear();
+        // Ten duplicate ACKs caused by reordering: below the threshold of 16,
+        // so no fast retransmit.
+        for _ in 0..10 {
+            let ack = ack_for(&sf, 0, SimTime::ZERO);
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        assert_eq!(sf.counters().fast_retransmits, 0);
+        assert!(!sf.in_recovery);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_retransmits() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        for i in 0..4u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        // Find the armed timer and fire it.
+        let (deadline, token) = *h.timers.last().unwrap();
+        let (_idx, gen) = Subflow::decode_timer_token(token);
+        h.now = deadline;
+        h.out.clear();
+        let upd = h.with(|ctx| sf.on_timer(ctx, gen));
+        assert!(upd.congestion_event);
+        assert_eq!(sf.counters().rto_count, 1);
+        assert_eq!(sf.cwnd(), MSS as f64);
+        assert_eq!(h.out.len(), 1, "exactly the first segment is retransmitted");
+        assert_eq!(h.out[0].seq, 0);
+        assert!(h
+            .signals
+            .iter()
+            .any(|s| matches!(s, Signal::RetransmissionTimeout { .. })));
+    }
+
+    #[test]
+    fn stale_timers_are_ignored() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        h.with(|ctx| sf.send_segment(ctx, 0, MSS));
+        let (_, token) = *h.timers.last().unwrap();
+        let (_, gen) = Subflow::decode_timer_token(token);
+        // ACK everything: timer is cancelled.
+        let ack = ack_for(&sf, MSS as u64, h.now);
+        h.advance(SimDuration::from_micros(50));
+        h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        assert!(sf.is_drained());
+        let upd = h.with(|ctx| sf.on_timer(ctx, gen));
+        assert_eq!(sf.counters().rto_count, 0);
+        assert!(!upd.congestion_event);
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        for i in 0..6u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        // Lose segments 0 and 2: three dupacks at 0 trigger recovery.
+        for _ in 0..3 {
+            let ack = ack_for(&sf, 0, SimTime::ZERO);
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        assert!(sf.in_recovery);
+        h.out.clear();
+        // Partial ACK up to 2*MSS (segment 0 repaired, hole at segment 2).
+        let ack = ack_for(&sf, 2 * MSS as u64, SimTime::ZERO);
+        h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        assert!(sf.in_recovery, "partial ACK keeps us in recovery");
+        assert_eq!(h.out.len(), 1);
+        assert_eq!(h.out[0].seq, 2 * MSS as u64);
+        // Full ACK ends recovery.
+        let ack = ack_for(&sf, 6 * MSS as u64, SimTime::ZERO);
+        h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        assert!(!sf.in_recovery);
+    }
+
+    #[test]
+    fn lia_increase_is_capped_by_uncoupled_increase() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        sf.ssthresh = sf.cwnd() / 2.0; // congestion avoidance
+        let before = sf.cwnd();
+        h.with(|ctx| sf.send_segment(ctx, 0, MSS));
+        let lia = LiaParams {
+            alpha: 100.0, // absurdly aggressive: must be capped
+            total_cwnd_bytes: before,
+        };
+        let ack = ack_for(&sf, MSS as u64, h.now);
+        h.advance(SimDuration::from_micros(100));
+        h.with(|ctx| sf.on_packet(ctx, &ack, Some(lia)));
+        let growth = sf.cwnd() - before;
+        let uncoupled_cap = MSS as f64 * MSS as f64 / before;
+        assert!(growth <= uncoupled_cap + 1.0, "growth {growth} cap {uncoupled_cap}");
+    }
+
+    #[test]
+    fn scatter_randomises_source_ports() {
+        let mut h = Harness::new();
+        let mut sf = subflow(true);
+        establish(&mut h, &mut sf);
+        h.out.clear();
+        for i in 0..20u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        let ports: std::collections::HashSet<u16> = h.out.iter().map(|p| p.src_port).collect();
+        assert!(ports.len() > 10, "expected many distinct ports, got {}", ports.len());
+    }
+
+    #[test]
+    fn pinned_subflow_uses_one_source_port() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        establish(&mut h, &mut sf);
+        h.out.clear();
+        for i in 0..10u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        let ports: std::collections::HashSet<u16> = h.out.iter().map(|p| p.src_port).collect();
+        assert_eq!(ports.len(), 1);
+    }
+
+    #[test]
+    fn dctcp_reduces_window_proportionally_to_marks() {
+        let mut h = Harness::new();
+        let mut sf = Subflow::new(
+            TransportConfig::dctcp(),
+            0,
+            false,
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            FlowId(1),
+        );
+        establish(&mut h, &mut sf);
+        let before = sf.cwnd();
+        // Send a window, ack it all with ECN echo set.
+        for i in 0..10u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        let sent = h.now;
+        h.advance(SimDuration::from_micros(100));
+        for i in 1..=10u64 {
+            let mut ack = ack_for(&sf, i * MSS as u64, sent);
+            ack.ecn_echo = true;
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        assert!(sf.dctcp_alpha() > 0.0);
+        // Window must not have grown unchecked despite slow start.
+        assert!(sf.cwnd() < before + (10 * MSS) as f64);
+    }
+
+    #[test]
+    fn spurious_retransmission_detection() {
+        let mut h = Harness::new();
+        let mut sf = subflow(false);
+        sf.set_dupack_threshold(2);
+        establish(&mut h, &mut sf);
+        for i in 0..4u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        // Reordering-induced dupacks trigger a (spurious) fast retransmit.
+        for _ in 0..2 {
+            let ack = ack_for(&sf, 0, SimTime::ZERO);
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        assert_eq!(sf.counters().fast_retransmits, 1);
+        // Later the receiver advances past the retransmitted data and flags a
+        // duplicate arrival.
+        let ack = ack_for(&sf, 4 * MSS as u64, SimTime::ZERO);
+        h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        let mut dup = ack_for(&sf, 4 * MSS as u64, SimTime::ZERO);
+        dup.dup_hint = true;
+        // Make it a duplicate ACK by keeping outstanding data around.
+        h.with(|ctx| sf.send_segment(ctx, 4 * MSS as u64, MSS));
+        h.with(|ctx| sf.on_packet(ctx, &dup, None));
+        assert_eq!(sf.counters().spurious_retransmits, 1);
+        assert!(h
+            .signals
+            .iter()
+            .any(|s| matches!(s, Signal::SpuriousRetransmit { .. })));
+    }
+
+    #[test]
+    fn timer_token_roundtrip() {
+        let token = Subflow::timer_token(7, 123_456);
+        assert_eq!(Subflow::decode_timer_token(token), (7, 123_456));
+    }
+
+    /// Drive a subflow through a reordering-induced (spurious) fast-recovery
+    /// episode: dup-ACKs below `threshold+…`, then a full ACK (the "lost"
+    /// original arrived after all), then the dup-hinted duplicate ACK caused by
+    /// the unnecessary retransmitted copy. Returns the cwnd before the episode.
+    fn spurious_episode(h: &mut Harness, sf: &mut Subflow) -> f64 {
+        establish(h, sf);
+        for i in 0..6u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        let cwnd_before = sf.cwnd();
+        // Reordering-induced duplicate ACKs trigger a spurious fast retransmit.
+        for _ in 0..2 {
+            let ack = ack_for(sf, 0, SimTime::ZERO);
+            h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        }
+        assert!(sf.in_recovery());
+        assert_eq!(sf.counters().fast_retransmits, 1);
+        // The delayed original (and everything else) arrives: full ACK exits
+        // recovery with the reduced window.
+        let ack = ack_for(sf, 6 * MSS as u64, SimTime::ZERO);
+        h.with(|ctx| sf.on_packet(ctx, &ack, None));
+        assert!(!sf.in_recovery());
+        // More data goes out, then the retransmitted copy reaches the receiver,
+        // which reports it as a duplicate.
+        h.with(|ctx| sf.send_segment(ctx, 6 * MSS as u64, MSS));
+        let mut dup = ack_for(sf, 6 * MSS as u64, SimTime::ZERO);
+        dup.dup_hint = true;
+        h.with(|ctx| sf.on_packet(ctx, &dup, None));
+        assert_eq!(sf.counters().spurious_retransmits, 1);
+        cwnd_before
+    }
+
+    #[test]
+    fn spurious_retransmit_undo_restores_window() {
+        let mut h = Harness::new();
+        let mut sf = subflow(true);
+        sf.set_dupack_threshold(2);
+        sf.set_undo_on_spurious(true);
+        let cwnd_before = spurious_episode(&mut h, &mut sf);
+        assert!(
+            sf.cwnd() >= cwnd_before,
+            "cwnd {} must be restored to at least its pre-recovery value {}",
+            sf.cwnd(),
+            cwnd_before
+        );
+    }
+
+    #[test]
+    fn without_undo_spurious_recovery_keeps_reduced_window() {
+        let mut h = Harness::new();
+        let mut sf = subflow(true);
+        sf.set_dupack_threshold(2);
+        let cwnd_before = spurious_episode(&mut h, &mut sf);
+        assert!(
+            sf.cwnd() < cwnd_before,
+            "without undo the halved window persists: cwnd {} vs {}",
+            sf.cwnd(),
+            cwnd_before
+        );
+    }
+
+    #[test]
+    fn rto_recovery_is_never_undone() {
+        let mut h = Harness::new();
+        let mut sf = subflow(true);
+        sf.set_undo_on_spurious(true);
+        establish(&mut h, &mut sf);
+        for i in 0..4u64 {
+            h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
+        }
+        let (deadline, token) = *h.timers.last().unwrap();
+        let (_idx, gen) = Subflow::decode_timer_token(token);
+        h.now = deadline;
+        h.with(|ctx| sf.on_timer(ctx, gen));
+        assert_eq!(sf.counters().rto_count, 1);
+        let collapsed = sf.cwnd();
+        // A dup-hinted duplicate ACK after the timeout must not restore the
+        // pre-timeout window.
+        let mut dup = ack_for(&sf, 0, SimTime::ZERO);
+        dup.dup_hint = true;
+        h.with(|ctx| sf.on_packet(ctx, &dup, None));
+        assert!(sf.cwnd() <= collapsed + MSS as f64);
+    }
+}

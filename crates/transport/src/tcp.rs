@@ -1,0 +1,338 @@
+//! Single-path TCP sender (NewReno flavour) and its DCTCP variant.
+//!
+//! This is the baseline transport of the paper's comparison: a single subflow
+//! whose connection-level data sequence equals its subflow sequence. With
+//! `TransportConfig::dctcp()` and ECN-marking switches it behaves as DCTCP.
+
+use crate::config::TransportConfig;
+use crate::subflow::Subflow;
+use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, Packet, PacketKind, Signal, SimTime};
+
+/// A single-path TCP sender transferring `total` bytes (or running forever
+/// when `total` is `None`, for background flows).
+#[derive(Debug)]
+pub struct TcpSender {
+    cfg: TransportConfig,
+    flow: FlowId,
+    total: Option<u64>,
+    subflow: Subflow,
+    next_data_seq: u64,
+    data_acked: u64,
+    started_at: Option<SimTime>,
+    completed: bool,
+}
+
+impl TcpSender {
+    /// Create a sender from `src` to `dst` transferring `total` bytes
+    /// (`None` = unbounded background flow). `src_port`/`dst_port` pin the
+    /// ECMP path of the single subflow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: TransportConfig,
+        flow: FlowId,
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        total: Option<u64>,
+    ) -> Self {
+        let subflow = Subflow::new(cfg, 0, false, src, dst, src_port, dst_port, flow);
+        TcpSender {
+            cfg,
+            flow,
+            total,
+            subflow,
+            next_data_seq: 0,
+            data_acked: 0,
+            started_at: None,
+            completed: false,
+        }
+    }
+
+    /// Convenience constructor for a DCTCP sender (ECN-reacting TCP).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_dctcp(
+        flow: FlowId,
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        total: Option<u64>,
+    ) -> Self {
+        TcpSender::new(
+            TransportConfig::dctcp(),
+            flow,
+            src,
+            dst,
+            src_port,
+            dst_port,
+            total,
+        )
+    }
+
+    /// Connection-level bytes acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.data_acked
+    }
+
+    /// Has the whole transfer been acknowledged?
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// The underlying subflow (for tests and ablations).
+    pub fn subflow(&self) -> &Subflow {
+        &self.subflow
+    }
+
+    fn remaining(&self) -> u64 {
+        match self.total {
+            Some(t) => t.saturating_sub(self.next_data_seq),
+            None => u64::MAX,
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut AgentCtx<'_>) {
+        loop {
+            let remaining = self.remaining();
+            if remaining == 0 {
+                break;
+            }
+            let len = (self.cfg.mss as u64).min(remaining) as u32;
+            if self.subflow.window_space() < len as u64 {
+                break;
+            }
+            self.subflow.send_segment(ctx, self.next_data_seq, len);
+            self.next_data_seq += len as u64;
+        }
+    }
+
+    fn check_completion(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.completed {
+            return;
+        }
+        if let Some(total) = self.total {
+            if self.data_acked >= total {
+                self.completed = true;
+                ctx.signal(Signal::FlowCompleted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: total,
+                });
+            }
+        }
+    }
+}
+
+impl Agent for TcpSender {
+    fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+        match event {
+            AgentEvent::Start => {
+                self.started_at = Some(ctx.now());
+                ctx.signal(Signal::FlowStarted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: self.total.unwrap_or(u64::MAX),
+                });
+                self.subflow.start(ctx);
+            }
+            AgentEvent::Packet(pkt) => {
+                if matches!(pkt.kind, PacketKind::Ack | PacketKind::SynAck) {
+                    self.data_acked = self.data_acked.max(pkt.data_ack);
+                    self.subflow.on_packet(ctx, &pkt, None);
+                    self.pump(ctx);
+                    self.check_completion(ctx);
+                }
+            }
+            AgentEvent::Timer(token) => {
+                let (_, gen) = Subflow::decode_timer_token(token);
+                self.subflow.on_timer(ctx, gen);
+                self.pump(ctx);
+            }
+            AgentEvent::Finalize => {
+                if !self.completed {
+                    ctx.signal(Signal::FlowProgress {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: self.data_acked,
+                    });
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp-sender({}, {:?} bytes)", self.flow, self.total)
+    }
+}
+
+/// Construct the matching receiver for any sender in this crate.
+pub fn receiver_for(flow: FlowId) -> crate::receiver::TransportReceiver {
+    crate::receiver::TransportReceiver::new(flow)
+}
+
+/// A packet filter helper used by tests: true if `p` is a data segment.
+pub fn is_data(p: &Packet) -> bool {
+    p.kind == PacketKind::Data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::TransportReceiver;
+    use netsim::{SimDuration, SimRng};
+
+    /// Drive a sender and receiver "back to back" (zero-latency ideal network)
+    /// until the sender finishes or `max_rounds` is hit. Returns the signals.
+    fn run_back_to_back(total: u64, loss_every: Option<usize>) -> (TcpSender, Vec<Signal>) {
+        let flow = FlowId(1);
+        let mut tx = TcpSender::new(
+            TransportConfig::default(),
+            flow,
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            Some(total),
+        );
+        let mut rx = TransportReceiver::new(flow);
+        let mut rng = SimRng::new(3);
+        let mut signals = Vec::new();
+        let mut timers: Vec<(SimTime, u64)> = Vec::new();
+        let mut now = SimTime::from_millis(1);
+        let mut in_flight: Vec<Packet> = Vec::new();
+        let mut to_sender: Vec<Packet> = Vec::new();
+        let mut sent_count = 0usize;
+
+        // Start.
+        {
+            let mut out = Vec::new();
+            let mut tctx = AgentCtx::new(now, flow, &mut rng, &mut out, &mut timers, &mut signals);
+            tx.handle(&mut tctx, AgentEvent::Start);
+            in_flight.extend(out);
+        }
+
+        for _round in 0..10_000 {
+            if tx.is_completed() {
+                break;
+            }
+            now = now + SimDuration::from_micros(50);
+            // Deliver sender->receiver packets (possibly dropping some).
+            let mut rx_out = Vec::new();
+            for pkt in in_flight.drain(..) {
+                sent_count += 1;
+                if let Some(k) = loss_every {
+                    if sent_count % k == 0 {
+                        continue; // drop
+                    }
+                }
+                let mut rctx =
+                    AgentCtx::new(now, flow, &mut rng, &mut rx_out, &mut timers, &mut signals);
+                rx.handle(&mut rctx, AgentEvent::Packet(pkt));
+            }
+            to_sender.extend(rx_out);
+            now = now + SimDuration::from_micros(50);
+            // Deliver receiver->sender packets.
+            let mut tx_out = Vec::new();
+            for pkt in to_sender.drain(..) {
+                let mut tctx =
+                    AgentCtx::new(now, flow, &mut rng, &mut tx_out, &mut timers, &mut signals);
+                tx.handle(&mut tctx, AgentEvent::Packet(pkt));
+            }
+            in_flight.extend(tx_out);
+            // Fire any due timers.
+            let due: Vec<(SimTime, u64)> = timers.iter().copied().filter(|(t, _)| *t <= now).collect();
+            timers.retain(|(t, _)| *t > now);
+            for (_, token) in due {
+                let mut tx_out = Vec::new();
+                let mut tctx =
+                    AgentCtx::new(now, flow, &mut rng, &mut tx_out, &mut timers, &mut signals);
+                tx.handle(&mut tctx, AgentEvent::Timer(token));
+                in_flight.extend(tx_out);
+            }
+            // If nothing is moving, advance to the next timer deadline.
+            if in_flight.is_empty() && to_sender.is_empty() && !tx.is_completed() {
+                if let Some(&(t, _)) = timers.iter().min_by_key(|(t, _)| *t) {
+                    now = t;
+                }
+            }
+        }
+        (tx, signals)
+    }
+
+    #[test]
+    fn lossless_transfer_completes() {
+        let (tx, signals) = run_back_to_back(70_000, None);
+        assert!(tx.is_completed());
+        assert_eq!(tx.acked_bytes(), 70_000);
+        assert!(signals
+            .iter()
+            .any(|s| matches!(s, Signal::FlowCompleted { bytes: 70_000, .. })));
+        assert_eq!(tx.subflow().counters().rto_count, 0);
+    }
+
+    #[test]
+    fn lossy_transfer_still_completes_via_retransmission() {
+        let (tx, signals) = run_back_to_back(140_000, Some(23));
+        assert!(tx.is_completed(), "transfer must recover from losses");
+        assert_eq!(tx.acked_bytes(), 140_000);
+        // Some recovery mechanism fired.
+        let recovered = tx.subflow().counters().fast_retransmits
+            + tx.subflow().counters().rto_count;
+        assert!(recovered > 0);
+        assert!(signals
+            .iter()
+            .any(|s| matches!(s, Signal::FlowCompleted { .. })));
+    }
+
+    #[test]
+    fn last_segment_may_be_short() {
+        let (tx, _) = run_back_to_back(3_000, None);
+        assert!(tx.is_completed());
+        assert_eq!(tx.acked_bytes(), 3_000);
+    }
+
+    #[test]
+    fn unbounded_flow_reports_progress_on_finalize() {
+        let flow = FlowId(2);
+        let mut tx = TcpSender::new(
+            TransportConfig::default(),
+            flow,
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            None,
+        );
+        let mut rng = SimRng::new(1);
+        let (mut out, mut timers, mut signals) = (Vec::new(), Vec::new(), Vec::new());
+        let mut ctx = AgentCtx::new(
+            SimTime::from_secs(1),
+            flow,
+            &mut rng,
+            &mut out,
+            &mut timers,
+            &mut signals,
+        );
+        tx.handle(&mut ctx, AgentEvent::Finalize);
+        assert!(matches!(
+            signals.last().unwrap(),
+            Signal::FlowProgress { bytes: 0, .. }
+        ));
+        assert!(!tx.is_completed());
+    }
+
+    #[test]
+    fn describe_mentions_flow() {
+        let tx = TcpSender::new(
+            TransportConfig::default(),
+            FlowId(5),
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            Some(10),
+        );
+        assert!(tx.describe().contains("f5"));
+    }
+}

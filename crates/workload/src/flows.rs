@@ -1,0 +1,558 @@
+//! Flow specifications and workload generators.
+//!
+//! The output of this module is a plain list of [`FlowSpec`]s — protocol
+//! agnostic descriptions of "host A sends B bytes to host C starting at time
+//! T". The experiment layer (`mmptcp` crate) turns each spec into a concrete
+//! sender/receiver agent pair for whichever transport is under test.
+
+use crate::matrix::{assign_destinations, TrafficMatrix};
+use netsim::{Addr, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Whether a flow is one of the latency-sensitive short flows or a
+/// bandwidth-hungry long (background) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowClass {
+    /// Latency-sensitive short flow (the paper uses 70 KB).
+    Short,
+    /// Long-lived background flow (runs for the whole experiment).
+    Long,
+}
+
+/// One flow to be simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Dense flow identifier (also used as the simulator `FlowId`).
+    pub id: u64,
+    /// Sending host.
+    pub src: Addr,
+    /// Receiving host.
+    pub dst: Addr,
+    /// Bytes to transfer; `None` means unbounded (background flow).
+    pub size: Option<u64>,
+    /// When the sender starts.
+    pub start: SimTime,
+    /// Short or long.
+    pub class: FlowClass,
+    /// Completion deadline relative to the flow's start, if the application
+    /// has one (the paper's introduction: short flows "commonly come with
+    /// strict deadlines"). Used by the deadline-miss analysis and by the
+    /// deadline-aware D²TCP sender; `None` for deadline-free flows.
+    pub deadline: Option<SimDuration>,
+}
+
+impl FlowSpec {
+    /// Convenience constructor for a deadline-free flow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u64,
+        src: Addr,
+        dst: Addr,
+        size: Option<u64>,
+        start: SimTime,
+        class: FlowClass,
+    ) -> Self {
+        FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            start,
+            class,
+            deadline: None,
+        }
+    }
+}
+
+/// How deadlines are assigned to short flows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DeadlineModel {
+    /// No deadlines (the paper's Figure-1 workload).
+    #[default]
+    None,
+    /// Every short flow gets the same relative deadline.
+    Fixed(SimDuration),
+    /// Deadline proportional to the flow's ideal transfer time at
+    /// `reference_gbps`, multiplied by `slack` and never below `floor` — the
+    /// usual model in the deadline-aware transport literature (D³, D²TCP).
+    Slack {
+        /// Multiplier on the ideal transfer time.
+        slack: f64,
+        /// Line rate used to compute the ideal transfer time.
+        reference_gbps: f64,
+        /// Minimum deadline handed out.
+        floor: SimDuration,
+    },
+}
+
+impl DeadlineModel {
+    /// The deadline for a flow of `size` bytes (`None` when the model assigns
+    /// no deadlines).
+    pub fn deadline_for(&self, size: u64) -> Option<SimDuration> {
+        match *self {
+            DeadlineModel::None => None,
+            DeadlineModel::Fixed(d) => Some(d),
+            DeadlineModel::Slack {
+                slack,
+                reference_gbps,
+                floor,
+            } => {
+                let ideal_secs = (size as f64 * 8.0) / (reference_gbps.max(1e-3) * 1e9);
+                let d = SimDuration::from_secs_f64(ideal_secs * slack.max(0.0));
+                Some(d.max(floor))
+            }
+        }
+    }
+}
+
+/// Flow size models for short flows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FlowSizeModel {
+    /// Every flow has exactly this many bytes (the paper's 70 KB short flows).
+    Fixed(u64),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Smallest flow size.
+        min: u64,
+        /// Largest flow size.
+        max: u64,
+    },
+    /// A heavy-tailed mix approximating the web-search workload of the DCTCP
+    /// paper: mostly small flows with a small fraction of multi-megabyte ones.
+    WebSearch,
+    /// A heavy-tailed mix approximating the data-mining workload (even more
+    /// skewed: many tiny flows, rare very large ones).
+    DataMining,
+}
+
+impl FlowSizeModel {
+    /// Draw one flow size.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            FlowSizeModel::Fixed(b) => b,
+            FlowSizeModel::Uniform { min, max } => {
+                assert!(min <= max);
+                rng.range(min..=max)
+            }
+            FlowSizeModel::WebSearch => {
+                // Piecewise-empirical approximation (bytes).
+                let u = rng.unit();
+                if u < 0.50 {
+                    rng.range(6_000..=20_000)
+                } else if u < 0.80 {
+                    rng.range(20_000..=100_000)
+                } else if u < 0.95 {
+                    rng.range(100_000..=1_000_000)
+                } else {
+                    rng.range(1_000_000..=30_000_000)
+                }
+            }
+            FlowSizeModel::DataMining => {
+                let u = rng.unit();
+                if u < 0.80 {
+                    rng.range(100..=10_000)
+                } else if u < 0.95 {
+                    rng.range(10_000..=1_000_000)
+                } else {
+                    rng.range(1_000_000..=100_000_000)
+                }
+            }
+        }
+    }
+}
+
+/// Arrival process of short flows at each sending host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson process: exponential inter-arrival times with the given mean.
+    Poisson {
+        /// Mean inter-arrival time between consecutive flows at one host.
+        mean_interarrival: SimDuration,
+    },
+    /// Fixed-rate arrivals with the given period.
+    Periodic {
+        /// Constant gap between consecutive flows at one host.
+        period: SimDuration,
+    },
+    /// All flows of a host start at the same instant (burst / incast).
+    Simultaneous,
+}
+
+impl ArrivalProcess {
+    /// The time of the `k`-th arrival after `base` (`k` starts at 0).
+    fn next(&self, base: SimTime, prev: SimTime, rng: &mut SimRng) -> SimTime {
+        match *self {
+            ArrivalProcess::Poisson { mean_interarrival } => {
+                let gap = rng.exponential(mean_interarrival.as_secs_f64());
+                prev + SimDuration::from_secs_f64(gap)
+            }
+            ArrivalProcess::Periodic { period } => prev + period,
+            ArrivalProcess::Simultaneous => base,
+        }
+    }
+}
+
+/// The paper's evaluation workload (§3 / Figure 1 caption): one third of the
+/// hosts run long background flows; the remaining hosts generate short flows
+/// according to a Poisson process; all source/destination pairs come from a
+/// permutation traffic matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperWorkloadConfig {
+    /// Fraction of hosts (in thousandths) that run long flows. The paper uses
+    /// one third (≈ 333).
+    pub long_host_millis: u32,
+    /// Short flow size model (paper: fixed 70 KB).
+    pub short_size: FlowSizeModel,
+    /// Number of short flows each short-flow host generates.
+    pub flows_per_short_host: usize,
+    /// Arrival process of short flows at each host.
+    pub arrivals: ArrivalProcess,
+    /// Traffic matrix for pairing sources with destinations.
+    pub matrix: TrafficMatrix,
+    /// When the long flows start.
+    pub long_start: SimTime,
+    /// When short-flow generation begins (long flows are usually given a head
+    /// start so queues reach steady state).
+    pub short_start: SimTime,
+    /// Deadline assignment for short flows (none in the paper's Figure-1
+    /// workload; used by the deadline-miss extension experiment).
+    pub deadlines: DeadlineModel,
+}
+
+impl Default for PaperWorkloadConfig {
+    fn default() -> Self {
+        PaperWorkloadConfig {
+            long_host_millis: 333,
+            short_size: FlowSizeModel::Fixed(70_000),
+            flows_per_short_host: 8,
+            arrivals: ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_millis(150),
+            },
+            matrix: TrafficMatrix::Permutation,
+            long_start: SimTime::from_millis(0),
+            short_start: SimTime::from_millis(100),
+            deadlines: DeadlineModel::None,
+        }
+    }
+}
+
+/// A complete generated workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// All flows, sorted by start time.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl Workload {
+    /// Flows of a given class.
+    pub fn of_class(&self, class: FlowClass) -> impl Iterator<Item = &FlowSpec> {
+        self.flows.iter().filter(move |f| f.class == class)
+    }
+
+    /// Number of short flows.
+    pub fn short_count(&self) -> usize {
+        self.of_class(FlowClass::Short).count()
+    }
+
+    /// Number of long flows.
+    pub fn long_count(&self) -> usize {
+        self.of_class(FlowClass::Long).count()
+    }
+
+    /// The latest start time in the workload.
+    pub fn last_start(&self) -> SimTime {
+        self.flows
+            .iter()
+            .map(|f| f.start)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Generate the paper's workload over the given hosts.
+pub fn paper_workload(
+    hosts: &[Addr],
+    cfg: &PaperWorkloadConfig,
+    rng: &mut SimRng,
+) -> Workload {
+    assert!(hosts.len() >= 4, "need at least four hosts");
+    // Split hosts into long-flow hosts and short-flow hosts. The split is
+    // random but deterministic for a given seed.
+    let mut shuffled: Vec<Addr> = hosts.to_vec();
+    rng.shuffle(&mut shuffled);
+    let num_long = ((hosts.len() as u64 * cfg.long_host_millis as u64) / 1000) as usize;
+    let num_long = num_long.clamp(1, hosts.len().saturating_sub(2));
+    let long_hosts: Vec<Addr> = shuffled[..num_long].to_vec();
+    let short_hosts: Vec<Addr> = shuffled[num_long..].to_vec();
+
+    let mut flows = Vec::new();
+    let mut next_id = 0u64;
+
+    // One traffic matrix over *all* hosts, exactly as in the paper ("all
+    // flows are scheduled based on a permutation traffic matrix"): every host
+    // is the destination of at most one sender, so a short flow never shares
+    // its destination access link with a long flow.
+    let all_pairs = assign_destinations(cfg.matrix, hosts, hosts, rng);
+    let dest_of = |src: Addr| -> Addr {
+        all_pairs
+            .iter()
+            .find(|(s, _)| *s == src)
+            .map(|(_, d)| *d)
+            .expect("every host has a destination")
+    };
+
+    // Long background flows: one per long host.
+    for &src in &long_hosts {
+        flows.push(FlowSpec {
+            id: next_id,
+            src,
+            dst: dest_of(src),
+            size: None,
+            start: cfg.long_start,
+            class: FlowClass::Long,
+            deadline: None,
+        });
+        next_id += 1;
+    }
+
+    // Short flows: each short host keeps its single matrix destination and
+    // generates a Poisson train of short flows towards it.
+    let short_pairs: Vec<(Addr, Addr)> =
+        short_hosts.iter().map(|&s| (s, dest_of(s))).collect();
+    for (src, dst) in short_pairs {
+        let mut prev = cfg.short_start;
+        for _k in 0..cfg.flows_per_short_host {
+            let start = cfg.arrivals.next(cfg.short_start, prev, rng);
+            prev = start;
+            let size = cfg.short_size.sample(rng);
+            flows.push(FlowSpec {
+                id: next_id,
+                src,
+                dst,
+                size: Some(size),
+                start,
+                class: FlowClass::Short,
+                deadline: cfg.deadlines.deadline_for(size),
+            });
+            next_id += 1;
+        }
+    }
+
+    flows.sort_by_key(|f| (f.start, f.id));
+    Workload { flows }
+}
+
+/// Generate an incast workload: `fan_in` senders each send `bytes` to the same
+/// receiver, all starting at `start`. Repeated for as many complete groups as
+/// the host list allows.
+pub fn incast_workload(
+    hosts: &[Addr],
+    fan_in: usize,
+    bytes: u64,
+    start: SimTime,
+) -> Workload {
+    assert!(fan_in >= 2, "incast needs at least two senders");
+    assert!(hosts.len() > fan_in, "not enough hosts for one incast group");
+    let mut flows = Vec::new();
+    let mut next_id = 0u64;
+    let groups = hosts.len() / (fan_in + 1);
+    for g in 0..groups.max(1) {
+        let base = g * (fan_in + 1);
+        if base + fan_in >= hosts.len() {
+            break;
+        }
+        let receiver = hosts[base + fan_in];
+        for s in 0..fan_in {
+            flows.push(FlowSpec {
+                id: next_id,
+                src: hosts[base + s],
+                dst: receiver,
+                size: Some(bytes),
+                start,
+                class: FlowClass::Short,
+                deadline: None,
+            });
+            next_id += 1;
+        }
+    }
+    Workload { flows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: usize) -> Vec<Addr> {
+        (0..n as u32).map(Addr).collect()
+    }
+
+    #[test]
+    fn paper_workload_splits_hosts_one_third_two_thirds() {
+        let mut rng = SimRng::new(11);
+        let w = paper_workload(&hosts(48), &PaperWorkloadConfig::default(), &mut rng);
+        assert_eq!(w.long_count(), 48 * 333 / 1000);
+        let expected_short_hosts = 48 - 48 * 333 / 1000;
+        assert_eq!(w.short_count(), expected_short_hosts * 8);
+        // No flow sends to itself.
+        for f in &w.flows {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn long_flows_are_unbounded_and_start_first() {
+        let mut rng = SimRng::new(11);
+        let cfg = PaperWorkloadConfig::default();
+        let w = paper_workload(&hosts(24), &cfg, &mut rng);
+        for f in w.of_class(FlowClass::Long) {
+            assert_eq!(f.size, None);
+            assert_eq!(f.start, cfg.long_start);
+        }
+        for f in w.of_class(FlowClass::Short) {
+            assert_eq!(f.size, Some(70_000));
+            assert!(f.start >= cfg.short_start);
+        }
+    }
+
+    #[test]
+    fn flow_ids_are_unique_and_flows_sorted_by_start() {
+        let mut rng = SimRng::new(2);
+        let w = paper_workload(&hosts(30), &PaperWorkloadConfig::default(), &mut rng);
+        let mut ids: Vec<u64> = w.flows.iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), w.flows.len());
+        for pair in w.flows.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let cfg = PaperWorkloadConfig::default();
+        let a = paper_workload(&hosts(20), &cfg, &mut SimRng::new(9));
+        let b = paper_workload(&hosts(20), &cfg, &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_arrivals_have_plausible_mean_gap() {
+        let mut rng = SimRng::new(1);
+        let cfg = PaperWorkloadConfig {
+            flows_per_short_host: 200,
+            ..PaperWorkloadConfig::default()
+        };
+        let w = paper_workload(&hosts(6), &cfg, &mut rng);
+        // Collect inter-arrival gaps per source host.
+        use std::collections::HashMap;
+        let mut per_src: HashMap<Addr, Vec<SimTime>> = HashMap::new();
+        for f in w.of_class(FlowClass::Short) {
+            per_src.entry(f.src).or_default().push(f.start);
+        }
+        for starts in per_src.values() {
+            let mut s = starts.clone();
+            s.sort_unstable();
+            let gaps: Vec<f64> = s
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            assert!(
+                (mean - 0.150).abs() < 0.05,
+                "mean inter-arrival {mean} should be near 150 ms"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_size_models_sample_within_bounds() {
+        let mut rng = SimRng::new(4);
+        assert_eq!(FlowSizeModel::Fixed(70_000).sample(&mut rng), 70_000);
+        for _ in 0..100 {
+            let v = FlowSizeModel::Uniform {
+                min: 10,
+                max: 20,
+            }
+            .sample(&mut rng);
+            assert!((10..=20).contains(&v));
+            let w = FlowSizeModel::WebSearch.sample(&mut rng);
+            assert!((6_000..=30_000_000).contains(&w));
+            let d = FlowSizeModel::DataMining.sample(&mut rng);
+            assert!((100..=100_000_000).contains(&d));
+        }
+    }
+
+    #[test]
+    fn deadline_models() {
+        assert_eq!(DeadlineModel::None.deadline_for(70_000), None);
+        assert_eq!(
+            DeadlineModel::Fixed(SimDuration::from_millis(20)).deadline_for(1),
+            Some(SimDuration::from_millis(20))
+        );
+        // 70 KB at 1 Gbps is 560 µs ideal; slack 10 → 5.6 ms, above the floor.
+        let slack = DeadlineModel::Slack {
+            slack: 10.0,
+            reference_gbps: 1.0,
+            floor: SimDuration::from_millis(1),
+        };
+        let d = slack.deadline_for(70_000).unwrap();
+        assert!((d.as_secs_f64() - 5.6e-3).abs() < 1e-5, "got {:?}", d);
+        // Tiny flows hit the floor.
+        assert_eq!(slack.deadline_for(10), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn deadlines_are_assigned_to_short_flows_only() {
+        let mut rng = SimRng::new(11);
+        let cfg = PaperWorkloadConfig {
+            deadlines: DeadlineModel::Fixed(SimDuration::from_millis(25)),
+            ..PaperWorkloadConfig::default()
+        };
+        let w = paper_workload(&hosts(24), &cfg, &mut rng);
+        for f in w.of_class(FlowClass::Short) {
+            assert_eq!(f.deadline, Some(SimDuration::from_millis(25)));
+        }
+        for f in w.of_class(FlowClass::Long) {
+            assert_eq!(f.deadline, None);
+        }
+    }
+
+    #[test]
+    fn flow_spec_new_is_deadline_free() {
+        let f = FlowSpec::new(
+            1,
+            Addr(0),
+            Addr(1),
+            Some(100),
+            SimTime::ZERO,
+            FlowClass::Short,
+        );
+        assert_eq!(f.deadline, None);
+        assert_eq!(f.size, Some(100));
+    }
+
+    #[test]
+    fn incast_workload_shares_one_receiver_per_group() {
+        let w = incast_workload(&hosts(18), 8, 32_000, SimTime::from_millis(5));
+        assert_eq!(w.flows.len(), 16);
+        let first_dst = w.flows[0].dst;
+        assert!(w.flows[..8].iter().all(|f| f.dst == first_dst));
+        assert!(w.flows[..8].iter().all(|f| f.src != f.dst));
+        assert_eq!(w.last_start(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn periodic_and_simultaneous_arrivals() {
+        let mut rng = SimRng::new(4);
+        let base = SimTime::from_millis(10);
+        let p = ArrivalProcess::Periodic {
+            period: SimDuration::from_millis(2),
+        };
+        let t1 = p.next(base, base, &mut rng);
+        let t2 = p.next(base, t1, &mut rng);
+        assert_eq!(t1, SimTime::from_millis(12));
+        assert_eq!(t2, SimTime::from_millis(14));
+        let s = ArrivalProcess::Simultaneous;
+        assert_eq!(s.next(base, t2, &mut rng), base);
+    }
+}

@@ -1,0 +1,79 @@
+//! Watch MMPTCP's two phases in action on a single long transfer, under both
+//! switching strategies the paper proposes (§2 "Phase Switching"):
+//!
+//! * **Data volume** — switch after a configured number of bytes;
+//! * **Congestion event** — switch at the first fast retransmission or RTO.
+//!
+//! Run with: `cargo run --release --example phase_switching`
+
+use mmptcp::prelude::*;
+
+fn one_long_flow(switch: SwitchStrategy, size: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologySpec::Parallel(ParallelPathConfig {
+            host_pairs: 2,
+            paths: 4,
+            ..ParallelPathConfig::default()
+        }),
+        workload: WorkloadSpec::Custom(vec![
+            FlowSpec {
+                id: 0,
+                src: Addr(0),
+                dst: Addr(2),
+                size: Some(size),
+                start: SimTime::from_millis(1),
+                class: FlowClass::Short,
+                deadline: None,
+            },
+            // A competing flow to create some congestion for the
+            // congestion-event strategy to react to.
+            FlowSpec {
+                id: 1,
+                src: Addr(1),
+                dst: Addr(3),
+                size: Some(size),
+                start: SimTime::from_millis(1),
+                class: FlowClass::Short,
+                deadline: None,
+            },
+        ]),
+        protocol: Protocol::Mmptcp {
+            subflows: 4,
+            switch,
+            dupack: None,
+        },
+        seed: 3,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn describe(label: &str, r: &mmptcp::ExperimentResults) {
+    let s = r.short_fct_summary();
+    let rec = r.metrics.record(FlowId(0)).unwrap();
+    println!("{label}");
+    println!("  completion time : {:.2} ms (mean over both flows {:.2} ms)",
+        r.metrics.fcts_ms(|f| f == FlowId(0)).first().copied().unwrap_or(f64::NAN),
+        s.mean);
+    match rec.phase_switched {
+        Some(t) => println!("  phase switch    : at {:.2} ms into the run", t.as_millis_f64()),
+        None => println!("  phase switch    : never (stayed in packet-scatter mode)"),
+    }
+    println!("  RTOs            : {}", rec.rtos);
+    println!();
+}
+
+fn main() {
+    let size = 2_000_000; // 2 MB: clearly a "long" flow
+
+    let r = mmptcp::run(one_long_flow(SwitchStrategy::DataVolume(210_000), size));
+    describe("Data-volume switching (threshold 210 KB):", &r);
+
+    let r = mmptcp::run(one_long_flow(SwitchStrategy::CongestionEvent, size));
+    describe("Congestion-event switching:", &r);
+
+    let r = mmptcp::run(one_long_flow(SwitchStrategy::Never, size));
+    describe("Never switching (packet-scatter only):", &r);
+
+    let r = mmptcp::run(one_long_flow(SwitchStrategy::DataVolume(70_000 * 100), size));
+    describe("Data-volume switching with a huge threshold (7 MB > flow size):", &r);
+}

@@ -1,0 +1,44 @@
+//! Quickstart: simulate a single 70 KB MMPTCP flow across four equal-cost
+//! paths and print what happened.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mmptcp::prelude::*;
+
+fn main() {
+    // 1. Describe the experiment: topology, workload, protocol.
+    let config = ExperimentConfig {
+        topology: TopologySpec::Parallel(ParallelPathConfig {
+            host_pairs: 1,
+            paths: 4,
+            ..ParallelPathConfig::default()
+        }),
+        workload: WorkloadSpec::Custom(vec![FlowSpec {
+            id: 0,
+            src: Addr(0),
+            dst: Addr(1),
+            size: Some(70_000),
+            start: SimTime::from_millis(1),
+            class: FlowClass::Short,
+            deadline: None,
+        }]),
+        protocol: Protocol::mmptcp_default(),
+        seed: 42,
+        ..ExperimentConfig::default()
+    };
+
+    // 2. Run it.
+    let results = mmptcp::run(config);
+
+    // 3. Read the measurements.
+    let summary = results.short_fct_summary();
+    println!("experiment : {}", results.name);
+    println!("flows      : {} (all completed: {})", summary.count, results.all_short_completed);
+    println!("FCT        : {:.3} ms", summary.mean);
+    println!("packets    : {} delivered, {} dropped", results.counters.delivered_to_hosts, results.counters.dropped);
+    println!("phase switches: {}", results.phase_switches());
+    println!();
+    println!("A 70 KB flow finishes inside MMPTCP's packet-scatter phase, so no");
+    println!("MPTCP subflows were ever opened — exactly the behaviour the paper");
+    println!("wants for latency-sensitive short flows.");
+}

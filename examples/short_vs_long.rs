@@ -1,0 +1,60 @@
+//! The paper's headline scenario, at example scale: a 4:1 over-subscribed
+//! FatTree where one third of the hosts run long background flows and the
+//! rest send Poisson-arriving 70 KB short flows — compared under MPTCP with 8
+//! subflows (Figure 1(b)) and MMPTCP (Figure 1(c)).
+//!
+//! Run with: `cargo run --release --example short_vs_long`
+
+use mmptcp::prelude::*;
+
+fn scenario(protocol: Protocol) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologySpec::FatTree(FatTreeConfig::benchmark()), // 64 hosts, 4:1
+        workload: WorkloadSpec::Paper(PaperWorkloadConfig {
+            flows_per_short_host: 5,
+            ..PaperWorkloadConfig::default()
+        }),
+        protocol,
+        seed: 7,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Short flows vs long flows: MPTCP-8 vs MMPTCP (example scale)",
+        &[
+            "protocol",
+            "short flows",
+            "mean FCT (ms)",
+            "std (ms)",
+            "p99 (ms)",
+            "max (ms)",
+            "flows w/ RTO",
+            "long goodput (Gbps)",
+        ],
+    );
+
+    for (name, protocol) in [
+        ("mptcp-8", Protocol::mptcp8()),
+        ("mmptcp-8", Protocol::mmptcp_default()),
+    ] {
+        let r = mmptcp::run(scenario(protocol));
+        let s = r.short_fct_summary();
+        table.add_row(vec![
+            name.to_string(),
+            s.count.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.std_dev),
+            format!("{:.2}", s.p99),
+            format!("{:.2}", s.max),
+            r.short_flows_with_rto().to_string(),
+            format!("{:.2}", r.long_goodput_bps() / 1e9),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("Expected shape (paper §3): similar means, but MMPTCP's standard");
+    println!("deviation and tail collapse because short flows no longer wait for");
+    println!("retransmission timeouts, while long-flow goodput stays the same.");
+}

