@@ -1,38 +1,138 @@
-//! Criterion micro-benchmarks of the simulation engine: event calendar
-//! throughput, ECMP hashing, FatTree construction and a single end-to-end
-//! transfer. These guard the simulator's performance, which bounds how large
-//! a paper-scale experiment can be run.
+//! Micro-benchmarks of the simulation engine: event calendar throughput
+//! (timing wheel vs. the reference binary heap), ECMP hashing, FatTree
+//! construction, end-to-end transfers, and parallel-driver scaling. These
+//! guard the simulator's performance, which bounds how large a paper-scale
+//! experiment can be run.
+//!
+//! Run with `cargo bench --bench engine`; `BENCH_SAMPLES` and a name-substring
+//! argument filter apply (see `bench::harness`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, compare, Harness};
 use mmptcp::prelude::*;
 use netsim::{
-    ecmp, event::{Event, EventQueue}, Addr as NAddr, FlowId as NFlowId, Packet,
+    ecmp,
+    event::{BinaryHeapQueue, Event, EventQueue},
+    Addr as NAddr, FlowId as NFlowId, Packet, SimRng,
 };
 use topology::fattree;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(
-                    netsim::SimTime::from_nanos((i * 7919) % 1_000_000),
-                    Event::FlowStart {
-                        node: netsim::NodeId(0),
-                        flow: NFlowId(i),
-                    },
-                );
-            }
-            let mut count = 0;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
+/// Deterministic pseudo-random schedule times reused by every calendar bench
+/// so the wheel and the heap chew on identical inputs.
+fn calendar_times(n: usize) -> Vec<netsim::SimTime> {
+    let mut rng = SimRng::new(0xCA1E);
+    (0..n)
+        .map(|_| {
+            // Mix of near-future (in-wheel) and far-future (overflow) times,
+            // weighted towards the near window like a real packet schedule.
+            let ns = if rng.chance(0.9) {
+                rng.range(0u64..5_000_000) // within ~5 ms
+            } else {
+                rng.range(0u64..2_000_000_000) // up to 2 s (RTO-like)
+            };
+            netsim::SimTime::from_nanos(ns)
         })
-    });
+        .collect()
 }
 
-fn bench_ecmp_hash(c: &mut Criterion) {
+fn flow_start(i: u64) -> Event {
+    Event::FlowStart {
+        node: netsim::NodeId(0),
+        flow: NFlowId(i),
+    }
+}
+
+fn bench_event_queue(h: &mut Harness) {
+    let times_10k = calendar_times(10_000);
+    h.bench("event_queue_schedule_pop_10k", || {
+        let mut q = EventQueue::new();
+        for (i, &t) in times_10k.iter().enumerate() {
+            q.schedule(t, flow_start(i as u64));
+        }
+        let mut count = 0;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        black_box(count)
+    });
+
+    // The acceptance benchmark: wheel vs. reference heap with >= 100k queued
+    // events. Each iteration fills the calendar, then alternates pop/schedule
+    // (steady-state churn, the pattern the simulator's hot loop produces),
+    // then drains.
+    let times_100k = calendar_times(100_000);
+    let churn = calendar_times(50_000);
+    let wheel = h.bench("calendar_wheel_100k_churn", || {
+        run_churn(&times_100k, &churn, EventQueue::new())
+    });
+    let heap = h.bench("calendar_heap_100k_churn", || {
+        run_churn(&times_100k, &churn, BinaryHeapQueue::new())
+    });
+    if let (Some(wheel), Some(heap)) = (wheel, heap) {
+        let speedup = compare(&wheel, &heap);
+        println!(
+            "calendar verdict: timing wheel is {:.2}x the heap at 100k+ events{}",
+            speedup,
+            if speedup >= 1.0 {
+                " (at parity or faster)"
+            } else {
+                " (SLOWER — regression!)"
+            }
+        );
+    }
+}
+
+/// Either calendar implementation, for the differential churn bench.
+trait Calendar {
+    fn schedule(&mut self, at: netsim::SimTime, event: Event);
+    fn pop(&mut self) -> Option<(netsim::SimTime, Event)>;
+}
+
+impl Calendar for EventQueue {
+    fn schedule(&mut self, at: netsim::SimTime, event: Event) {
+        EventQueue::schedule(self, at, event)
+    }
+    fn pop(&mut self) -> Option<(netsim::SimTime, Event)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Calendar for BinaryHeapQueue {
+    fn schedule(&mut self, at: netsim::SimTime, event: Event) {
+        BinaryHeapQueue::schedule(self, at, event)
+    }
+    fn pop(&mut self) -> Option<(netsim::SimTime, Event)> {
+        BinaryHeapQueue::pop(self)
+    }
+}
+
+/// Shared churn driver so both calendars execute the identical op sequence.
+fn run_churn(fill: &[netsim::SimTime], churn: &[netsim::SimTime], mut q: impl Calendar) -> u64 {
+    let mut seq = 0u64;
+    for &t in fill {
+        q.schedule(t, flow_start(seq));
+        seq += 1;
+    }
+    let mut count = 0u64;
+    let mut last = netsim::SimTime::ZERO;
+    for &dt in churn {
+        if let Some((t, _)) = q.pop() {
+            last = t;
+            count += 1;
+        }
+        // Reschedule relative to the popped time, like packet forwarding does.
+        q.schedule(
+            last + netsim::SimDuration::from_nanos(dt.as_nanos() % 100_000),
+            flow_start(seq),
+        );
+        seq += 1;
+    }
+    while q.pop().is_some() {
+        count += 1;
+    }
+    black_box(count)
+}
+
+fn bench_ecmp_hash(h: &mut Harness) {
     let pkt = Packet::data(
         NAddr(3),
         NAddr(97),
@@ -45,18 +145,22 @@ fn bench_ecmp_hash(c: &mut Criterion) {
         1_400,
         netsim::SimTime::from_millis(10),
     );
-    c.bench_function("ecmp_select_16way", |b| {
-        b.iter(|| black_box(ecmp::select(black_box(&pkt), 0xDEADBEEF, 16)))
+    h.bench("ecmp_select_16way_1k", || {
+        let mut acc = 0usize;
+        for _ in 0..1_000 {
+            acc += ecmp::select(black_box(&pkt), 0xDEADBEEF, 16);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_fattree_build(c: &mut Criterion) {
-    c.bench_function("fattree_build_k8_4to1_512_hosts", |b| {
-        b.iter(|| black_box(fattree::build(FatTreeConfig::paper()).host_count()))
+fn bench_fattree_build(h: &mut Harness) {
+    h.bench("fattree_build_k8_4to1_512_hosts", || {
+        black_box(fattree::build(FatTreeConfig::paper()).host_count())
     });
 }
 
-fn bench_single_flow(c: &mut Criterion) {
+fn bench_single_flow(h: &mut Harness) {
     let mk = |protocol| ExperimentConfig {
         topology: TopologySpec::Parallel(ParallelPathConfig::default()),
         workload: WorkloadSpec::Custom(vec![FlowSpec {
@@ -71,26 +175,57 @@ fn bench_single_flow(c: &mut Criterion) {
         protocol,
         ..ExperimentConfig::default()
     };
-    c.bench_function("end_to_end_70KB_tcp", |b| {
-        b.iter(|| black_box(mmptcp::run(mk(Protocol::Tcp)).short_fct_summary().mean))
+    h.bench("end_to_end_70KB_tcp", || {
+        black_box(mmptcp::run(mk(Protocol::Tcp)).short_fct_summary().mean)
     });
-    c.bench_function("end_to_end_70KB_mmptcp", |b| {
-        b.iter(|| {
-            black_box(
-                mmptcp::run(mk(Protocol::mmptcp_default()))
-                    .short_fct_summary()
-                    .mean,
-            )
-        })
+    h.bench("end_to_end_70KB_mmptcp", || {
+        black_box(
+            mmptcp::run(mk(Protocol::mmptcp_default()))
+                .short_fct_summary()
+                .mean,
+        )
     });
 }
 
-criterion_group! {
-    name = engine;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_event_queue, bench_ecmp_hash, bench_fattree_build, bench_single_flow
+fn bench_driver_scaling(h: &mut Harness) {
+    // A 16-configuration sweep (4 protocols x 4 seeds) at test scale; the
+    // acceptance criterion wants near-linear scaling to available cores.
+    let configs = || -> Vec<ExperimentConfig> {
+        let mut v = Vec::new();
+        for protocol in [
+            Protocol::Tcp,
+            Protocol::mptcp8(),
+            Protocol::PacketScatter,
+            Protocol::mmptcp_default(),
+        ] {
+            for seed in 1..=4u64 {
+                v.push(ExperimentConfig::small_test(protocol, seed));
+            }
+        }
+        v
+    };
+    let serial = h.bench("driver_sweep16_1_thread", || {
+        black_box(Driver::with_threads(1).run(configs()).len())
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let parallel = h.bench(&format!("driver_sweep16_{cores}_threads"), || {
+        black_box(Driver::with_threads(cores).run(configs()).len())
+    });
+    if let (Some(parallel), Some(serial)) = (parallel, serial) {
+        let speedup = compare(&parallel, &serial);
+        println!("driver verdict: {speedup:.2}x speedup on {cores} cores for a 16-config sweep");
+    }
 }
-criterion_main!(engine);
+
+fn main() {
+    let mut h = Harness::group("engine", 10);
+    bench_event_queue(&mut h);
+    bench_ecmp_hash(&mut h);
+    bench_fattree_build(&mut h);
+    let mut h = Harness::group("engine_e2e", 5);
+    bench_single_flow(&mut h);
+    let mut h = Harness::group("driver", 3);
+    bench_driver_scaling(&mut h);
+}

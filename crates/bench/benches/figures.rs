@@ -1,7 +1,7 @@
-//! Criterion benches that exercise every figure/table regeneration path at
-//! reduced scale, so `cargo bench` covers the full experiment matrix:
+//! Benches that exercise every figure/table regeneration path at reduced
+//! scale, so `cargo bench` covers the full experiment matrix:
 //!
-//! * `fig1a_point` — one point of Figure 1(a) (MPTCP, varying subflows);
+//! * `fig1a_*` — points of Figure 1(a) (MPTCP, varying subflows);
 //! * `fig1b_mptcp8` / `fig1c_mmptcp8` — the Figure 1(b)/(c) scatter runs;
 //! * `summary_stats` — the §3 text statistics comparison;
 //! * `switching`, `load`, `hotspot`, `multihomed`, `coexistence`,
@@ -10,13 +10,13 @@
 //! The real harnesses (with full tables and paper-scale options) are the
 //! binaries in `src/bin/`; see EXPERIMENTS.md.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Harness};
 use mmptcp::prelude::*;
 
 /// A scaled-down Figure-1 configuration: 16-host FatTree (same 4:1
 /// over-subscription regime as the paper via `oversubscription = 4` on k=4
-/// would be 64 hosts; here we use the small tree with 2 flows per host to keep
-/// criterion iterations affordable).
+/// would be 64 hosts; here we use the small tree with 2 flows per host to
+/// keep bench iterations affordable).
 fn small_fig1(protocol: Protocol, seed: u64) -> ExperimentConfig {
     ExperimentConfig {
         topology: TopologySpec::FatTree(FatTreeConfig::small()),
@@ -33,153 +33,113 @@ fn small_fig1(protocol: Protocol, seed: u64) -> ExperimentConfig {
     }
 }
 
-fn fig1a(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1a_mptcp_subflow_sweep");
-    group.sample_size(10);
+fn fig1a(h: &mut Harness) {
     for subflows in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(subflows),
-            &subflows,
-            |b, &n| {
-                b.iter(|| {
-                    let r = mmptcp::run(small_fig1(Protocol::Mptcp { subflows: n }, 1));
-                    black_box(r.short_fct_summary().mean)
-                })
-            },
-        );
+        h.bench(&format!("fig1a_mptcp_subflows_{subflows}"), || {
+            let r = mmptcp::run(small_fig1(Protocol::Mptcp { subflows }, 1));
+            black_box(r.short_fct_summary().mean)
+        });
     }
-    group.finish();
 }
 
-fn fig1bc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1bc_scatter");
-    group.sample_size(10);
-    group.bench_function("fig1b_mptcp8", |b| {
-        b.iter(|| black_box(mmptcp::run(small_fig1(Protocol::mptcp8(), 2)).short_fct_series()))
+fn fig1bc(h: &mut Harness) {
+    h.bench("fig1b_mptcp8", || {
+        black_box(mmptcp::run(small_fig1(Protocol::mptcp8(), 2)).short_fct_series())
     });
-    group.bench_function("fig1c_mmptcp8", |b| {
-        b.iter(|| {
-            black_box(mmptcp::run(small_fig1(Protocol::mmptcp_default(), 2)).short_fct_series())
-        })
+    h.bench("fig1c_mmptcp8", || {
+        black_box(mmptcp::run(small_fig1(Protocol::mmptcp_default(), 2)).short_fct_series())
     });
-    group.finish();
 }
 
-fn summary_and_extensions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extension_experiments");
-    group.sample_size(10);
-
-    group.bench_function("summary_stats_pair", |b| {
-        b.iter(|| {
-            let a = mmptcp::run(small_fig1(Protocol::mptcp8(), 3)).summary();
-            let z = mmptcp::run(small_fig1(Protocol::mmptcp_default(), 3)).summary();
-            black_box((a, z))
-        })
+fn summary_and_extensions(h: &mut Harness) {
+    h.bench("summary_stats_pair", || {
+        let a = mmptcp::run(small_fig1(Protocol::mptcp8(), 3)).summary();
+        let z = mmptcp::run(small_fig1(Protocol::mmptcp_default(), 3)).summary();
+        black_box((a, z))
     });
 
-    group.bench_function("switching_congestion_event", |b| {
-        b.iter(|| {
-            let p = Protocol::Mmptcp {
-                subflows: 8,
-                switch: SwitchStrategy::CongestionEvent,
-                dupack: None,
+    h.bench("switching_congestion_event", || {
+        let p = Protocol::Mmptcp {
+            subflows: 8,
+            switch: SwitchStrategy::CongestionEvent,
+            dupack: None,
+        };
+        black_box(mmptcp::run(small_fig1(p, 4)).summary())
+    });
+
+    h.bench("load_heavy", || {
+        let mut cfg = small_fig1(Protocol::mmptcp_default(), 5);
+        if let WorkloadSpec::Paper(p) = &mut cfg.workload {
+            p.arrivals = ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_millis(5),
             };
-            black_box(mmptcp::run(small_fig1(p, 4)).summary())
-        })
+        }
+        black_box(mmptcp::run(cfg).summary())
     });
 
-    group.bench_function("load_heavy", |b| {
-        b.iter(|| {
-            let mut cfg = small_fig1(Protocol::mmptcp_default(), 5);
-            if let WorkloadSpec::Paper(p) = &mut cfg.workload {
-                p.arrivals = ArrivalProcess::Poisson {
-                    mean_interarrival: SimDuration::from_millis(5),
-                };
-            }
-            black_box(mmptcp::run(cfg).summary())
-        })
-    });
-
-    group.bench_function("hotspot_matrix", |b| {
-        b.iter(|| {
-            let mut cfg = small_fig1(Protocol::mmptcp_default(), 6);
-            if let WorkloadSpec::Paper(p) = &mut cfg.workload {
-                p.matrix = TrafficMatrix::Hotspot {
-                    hot_hosts: 2,
-                    hot_fraction_millis: 250,
-                };
-            }
-            black_box(mmptcp::run(cfg).summary())
-        })
-    });
-
-    group.bench_function("multihomed_fattree", |b| {
-        b.iter(|| {
-            let mut cfg = small_fig1(Protocol::mmptcp_default(), 7);
-            cfg.topology = TopologySpec::MultiHomedFatTree(FatTreeConfig::small());
-            black_box(mmptcp::run(cfg).summary())
-        })
-    });
-
-    group.bench_function("coexistence_long_tcp", |b| {
-        b.iter(|| {
-            let mut cfg = small_fig1(Protocol::mmptcp_default(), 8);
-            cfg.long_protocol = Some(Protocol::Tcp);
-            black_box(mmptcp::run(cfg).summary())
-        })
-    });
-
-    group.bench_function("dupack_fixed3", |b| {
-        b.iter(|| {
-            let p = Protocol::Mmptcp {
-                subflows: 8,
-                switch: SwitchStrategy::default(),
-                dupack: Some(DupAckPolicy::Fixed(3)),
+    h.bench("hotspot_matrix", || {
+        let mut cfg = small_fig1(Protocol::mmptcp_default(), 6);
+        if let WorkloadSpec::Paper(p) = &mut cfg.workload {
+            p.matrix = TrafficMatrix::Hotspot {
+                hot_hosts: 2,
+                hot_fraction_millis: 250,
             };
-            black_box(mmptcp::run(small_fig1(p, 9)).short_spurious_retransmits())
-        })
+        }
+        black_box(mmptcp::run(cfg).summary())
     });
 
-    group.bench_function("deadline_miss_d2tcp", |b| {
-        b.iter(|| {
-            let mut cfg = small_fig1(Protocol::D2tcp, 11);
-            if let WorkloadSpec::Paper(p) = &mut cfg.workload {
-                p.deadlines = DeadlineModel::Slack {
-                    slack: 10.0,
-                    reference_gbps: 1.0,
-                    floor: SimDuration::from_millis(10),
-                };
-            }
-            black_box(mmptcp::run(cfg).deadline_miss_rate())
-        })
+    h.bench("multihomed_fattree", || {
+        let mut cfg = small_fig1(Protocol::mmptcp_default(), 7);
+        cfg.topology = TopologySpec::MultiHomedFatTree(FatTreeConfig::small());
+        black_box(mmptcp::run(cfg).summary())
     });
 
-    group.bench_function("incast_fan_in_8", |b| {
-        b.iter(|| {
-            let cfg = ExperimentConfig {
-                topology: TopologySpec::FatTree(FatTreeConfig::small()),
-                workload: WorkloadSpec::Incast {
-                    fan_in: 8,
-                    bytes: 32_000,
-                    start: SimTime::from_millis(1),
-                },
-                protocol: Protocol::mmptcp_default(),
-                seed: 10,
-                ..ExperimentConfig::default()
+    h.bench("coexistence_long_tcp", || {
+        let mut cfg = small_fig1(Protocol::mmptcp_default(), 8);
+        cfg.long_protocol = Some(Protocol::Tcp);
+        black_box(mmptcp::run(cfg).summary())
+    });
+
+    h.bench("dupack_fixed3", || {
+        let p = Protocol::Mmptcp {
+            subflows: 8,
+            switch: SwitchStrategy::default(),
+            dupack: Some(DupAckPolicy::Fixed(3)),
+        };
+        black_box(mmptcp::run(small_fig1(p, 9)).short_spurious_retransmits())
+    });
+
+    h.bench("deadline_miss_d2tcp", || {
+        let mut cfg = small_fig1(Protocol::D2tcp, 11);
+        if let WorkloadSpec::Paper(p) = &mut cfg.workload {
+            p.deadlines = DeadlineModel::Slack {
+                slack: 10.0,
+                reference_gbps: 1.0,
+                floor: SimDuration::from_millis(10),
             };
-            black_box(mmptcp::run(cfg).summary())
-        })
+        }
+        black_box(mmptcp::run(cfg).deadline_miss_rate())
     });
 
-    group.finish();
+    h.bench("incast_fan_in_8", || {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::FatTree(FatTreeConfig::small()),
+            workload: WorkloadSpec::Incast {
+                fan_in: 8,
+                bytes: 32_000,
+                start: SimTime::from_millis(1),
+            },
+            protocol: Protocol::mmptcp_default(),
+            seed: 10,
+            ..ExperimentConfig::default()
+        };
+        black_box(mmptcp::run(cfg).summary())
+    });
 }
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(3));
-    targets = fig1a, fig1bc, summary_and_extensions
+fn main() {
+    let mut h = Harness::group("figures", 5);
+    fig1a(&mut h);
+    fig1bc(&mut h);
+    summary_and_extensions(&mut h);
 }
-criterion_main!(figures);

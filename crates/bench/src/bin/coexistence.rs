@@ -16,7 +16,11 @@ use mmptcp::prelude::*;
 fn main() {
     let opts = HarnessOptions::from_args();
     let combos: Vec<(&str, Protocol, Option<Protocol>)> = vec![
-        ("short mmptcp / long mmptcp", Protocol::mmptcp_default(), None),
+        (
+            "short mmptcp / long mmptcp",
+            Protocol::mmptcp_default(),
+            None,
+        ),
         (
             "short mmptcp / long mptcp-8",
             Protocol::mmptcp_default(),

@@ -64,7 +64,10 @@ fn main() {
     // The paper's qualitative claims, checked mechanically.
     let first = results.first().unwrap().1.short_fct_summary();
     let last = results.last().unwrap().1.short_fct_summary();
-    println!("shape check: mean(1 subflow) = {:.2} ms, mean(9 subflows) = {:.2} ms", first.mean, last.mean);
+    println!(
+        "shape check: mean(1 subflow) = {:.2} ms, mean(9 subflows) = {:.2} ms",
+        first.mean, last.mean
+    );
     println!(
         "shape check: std(1 subflow) = {:.2} ms, std(9 subflows) = {:.2} ms (paper: grows strongly with subflows)",
         first.std_dev, last.std_dev

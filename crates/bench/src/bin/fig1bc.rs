@@ -34,7 +34,10 @@ fn main() {
         }
         None => vec![
             ("mptcp-8 (Figure 1b)".to_string(), Protocol::mptcp8()),
-            ("mmptcp-8 (Figure 1c)".to_string(), Protocol::mmptcp_default()),
+            (
+                "mmptcp-8 (Figure 1c)".to_string(),
+                Protocol::mmptcp_default(),
+            ),
         ],
     };
 

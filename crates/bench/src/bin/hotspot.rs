@@ -33,7 +33,10 @@ fn main() {
         ("mmptcp-8", Protocol::mmptcp_default()),
         ("tcp", Protocol::Tcp),
     ] {
-        configs.push((format!("{pname} / permutation"), config_for(&opts, p, false)));
+        configs.push((
+            format!("{pname} / permutation"),
+            config_for(&opts, p, false),
+        ));
         configs.push((format!("{pname} / hotspot"), config_for(&opts, p, true)));
     }
     let results = run_sweep(configs, opts.threads);

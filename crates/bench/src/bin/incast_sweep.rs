@@ -56,7 +56,9 @@ fn main() {
     let results = run_sweep(configs, opts.threads);
 
     let mut table = Table::new(
-        format!("Incast sweep: N senders x {BYTES_PER_SENDER} B to one receiver, simultaneous start"),
+        format!(
+            "Incast sweep: N senders x {BYTES_PER_SENDER} B to one receiver, simultaneous start"
+        ),
         &[
             "protocol",
             "fan-in",

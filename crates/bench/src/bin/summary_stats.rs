@@ -15,7 +15,10 @@ use mmptcp::prelude::*;
 fn main() {
     let opts = HarnessOptions::from_args();
     let configs = vec![
-        ("mptcp-8".to_string(), opts.figure1_config(Protocol::mptcp8())),
+        (
+            "mptcp-8".to_string(),
+            opts.figure1_config(Protocol::mptcp8()),
+        ),
         (
             "mmptcp-8".to_string(),
             opts.figure1_config(Protocol::mmptcp_default()),
@@ -68,7 +71,12 @@ fn main() {
     // Extra accounting useful when comparing against the paper text.
     let mut extra = Table::new(
         "Recovery accounting",
-        &["protocol", "total RTOs (short)", "spurious retx (short)", "phase switches"],
+        &[
+            "protocol",
+            "total RTOs (short)",
+            "spurious retx (short)",
+            "phase switches",
+        ],
     );
     for (label, r) in &results {
         extra.add_row(vec![

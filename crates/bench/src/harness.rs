@@ -1,0 +1,185 @@
+//! A small criterion-style micro-benchmark harness.
+//!
+//! The build environment is offline, so criterion itself is unavailable; this
+//! module provides the slice of it the benches need — named benchmarks,
+//! warm-up, repeated sampling, and a compact `min / median / max` report —
+//! with two additions the experiment benches want: per-benchmark iteration
+//! budgets (full simulations are too slow for time-targeted sampling) and a
+//! [`Comparison`] helper that prints the speedup between two benchmarks
+//! (used for the timing-wheel vs. binary-heap acceptance check).
+//!
+//! Benchmarks honour two environment variables:
+//! * `BENCH_SAMPLES` — override the number of measured samples;
+//! * `BENCH_FILTER` — substring filter on benchmark names (like libtest).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured timings of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-sample wall-clock times, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples[0]
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+
+    /// Slowest sample.
+    pub fn max(&self) -> Duration {
+        *self.samples.last().expect("at least one sample")
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A group of benchmarks sharing sample settings, mirroring criterion's
+/// `BenchmarkGroup` API shape.
+pub struct Harness {
+    group: String,
+    samples: usize,
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Create a benchmark group. `samples` is the measured-run count unless
+    /// `BENCH_SAMPLES` overrides it.
+    pub fn group(name: &str, samples: usize) -> Self {
+        let samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(samples)
+            .max(1);
+        let filter = std::env::args()
+            .nth(1)
+            .filter(|a| !a.starts_with('-'))
+            .or_else(|| std::env::var("BENCH_FILTER").ok());
+        println!("\n== {name} ==");
+        Harness {
+            group: name.to_string(),
+            samples,
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Run one benchmark: `f` is executed once for warm-up, then `samples`
+    /// measured times. Returns the measurement (also recorded in the group).
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<Measurement> {
+        let full = format!("{}/{name}", self.group);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        black_box(f()); // warm-up, also primes caches/allocators
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        let m = Measurement {
+            name: full,
+            samples,
+        };
+        println!(
+            "{:<44} time: [{} {} {}]",
+            m.name,
+            fmt_duration(m.min()),
+            fmt_duration(m.median()),
+            fmt_duration(m.max()),
+        );
+        self.results.push(m.clone());
+        Some(m)
+    }
+
+    /// All measurements taken in this group.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Prints the relative performance of two measurements (by median) and
+/// returns `baseline_median / candidate_median` — values above 1.0 mean the
+/// candidate is faster.
+pub fn compare(candidate: &Measurement, baseline: &Measurement) -> f64 {
+    let speedup = baseline.median().as_secs_f64() / candidate.median().as_secs_f64().max(1e-12);
+    println!(
+        "{:<44} {:.2}x vs {} ({} vs {})",
+        candidate.name,
+        speedup,
+        baseline.name,
+        fmt_duration(candidate.median()),
+        fmt_duration(baseline.median()),
+    );
+    speedup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_statistics_are_ordered() {
+        let mut h = Harness::group("test", 5);
+        let m = h
+            .bench("spin", || {
+                let mut x = 0u64;
+                for i in 0..1000 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+            .expect("not filtered");
+        assert_eq!(m.samples.len(), 5);
+        assert!(m.min() <= m.median() && m.median() <= m.max());
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn compare_reports_speedup_ratio() {
+        let fast = Measurement {
+            name: "fast".into(),
+            samples: vec![Duration::from_micros(10)],
+        };
+        let slow = Measurement {
+            name: "slow".into(),
+            samples: vec![Duration::from_micros(40)],
+        };
+        let s = compare(&fast, &slow);
+        assert!((s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

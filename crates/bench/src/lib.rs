@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod harness;
+
 use mmptcp::prelude::*;
 use mmptcp::ExperimentResults;
 
@@ -123,36 +125,13 @@ impl HarnessOptions {
 }
 
 /// Run a set of labelled experiments, up to `threads` at a time, preserving
-/// input order in the output.
+/// input order in the output. Thin wrapper over [`mmptcp::Driver`], kept so
+/// the harness binaries share one entry point.
 pub fn run_sweep(
     configs: Vec<(String, ExperimentConfig)>,
     threads: usize,
 ) -> Vec<(String, ExperimentResults)> {
-    let threads = threads.max(1);
-    let mut results: Vec<Option<(String, ExperimentResults)>> =
-        (0..configs.len()).map(|_| None).collect();
-    let work: Vec<(usize, (String, ExperimentConfig))> = configs.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let out = parking_lot::Mutex::new(&mut results);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
-                let Some((idx, (label, config))) = item else {
-                    break;
-                };
-                let res = mmptcp::run(config);
-                out.lock()[idx] = Some((label, res));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    results
-        .into_iter()
-        .map(|r| r.expect("missing result"))
-        .collect()
+    mmptcp::Driver::with_threads(threads).run_labelled(configs)
 }
 
 /// Build the standard comparison table row for one run.
@@ -207,7 +186,14 @@ mod tests {
     fn parse_arguments() {
         let o = HarnessOptions::parse(
             [
-                "--full", "--flows", "25", "--seed", "9", "--csv", "--protocol", "mptcp-4",
+                "--full",
+                "--flows",
+                "25",
+                "--seed",
+                "9",
+                "--csv",
+                "--protocol",
+                "mptcp-4",
             ]
             .iter()
             .map(|s| s.to_string()),

@@ -61,7 +61,10 @@ impl FlowMetrics {
                 Signal::FlowCompleted { at, bytes, .. } => {
                     rec.completed = Some(*at);
                     rec.bytes = *bytes;
-                    self.progress.entry(s.flow()).or_default().push((*at, *bytes));
+                    self.progress
+                        .entry(s.flow())
+                        .or_default()
+                        .push((*at, *bytes));
                 }
                 Signal::RetransmissionTimeout { .. } => rec.rtos += 1,
                 Signal::FastRetransmit { .. } => rec.fast_retransmits += 1,
@@ -71,7 +74,10 @@ impl FlowMetrics {
                     // Keep the largest progress report (sender and receiver may
                     // both report).
                     rec.bytes = rec.bytes.max(*bytes);
-                    self.progress.entry(s.flow()).or_default().push((*at, *bytes));
+                    self.progress
+                        .entry(s.flow())
+                        .or_default()
+                        .push((*at, *bytes));
                 }
             }
         }
@@ -132,13 +138,15 @@ impl FlowMetrics {
 
     /// Number of flows that completed.
     pub fn completed_count(&self) -> usize {
-        self.records.values().filter(|r| r.completed.is_some()).count()
+        self.records
+            .values()
+            .filter(|r| r.completed.is_some())
+            .count()
     }
 
     /// All (flow, record) pairs, sorted by flow id for deterministic output.
     pub fn sorted_records(&self) -> Vec<(FlowId, FlowRecord)> {
-        let mut v: Vec<(FlowId, FlowRecord)> =
-            self.records.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut v: Vec<(FlowId, FlowRecord)> = self.records.iter().map(|(k, v)| (*k, *v)).collect();
         v.sort_by_key(|(k, _)| *k);
         v
     }
@@ -179,7 +187,12 @@ impl FlowMetrics {
 
     /// Aggregate goodput (bytes per second) of the selected flows over the
     /// window `[start, end]`, using completed bytes and progress reports.
-    pub fn goodput_bps<F: Fn(FlowId) -> bool>(&self, filter: F, start: SimTime, end: SimTime) -> f64 {
+    pub fn goodput_bps<F: Fn(FlowId) -> bool>(
+        &self,
+        filter: F,
+        start: SimTime,
+        end: SimTime,
+    ) -> f64 {
         let elapsed = (end - start).as_secs_f64();
         if elapsed <= 0.0 {
             return 0.0;
@@ -289,9 +302,18 @@ mod tests {
                 bytes: mb * 1_000_000,
             }]);
         }
-        assert_eq!(m.bytes_delivered_by(FlowId(1), SimTime::from_secs(1)), 1_000_000);
-        assert_eq!(m.bytes_delivered_by(FlowId(1), SimTime::from_secs(3)), 3_000_000);
-        assert_eq!(m.bytes_delivered_by(FlowId(1), SimTime::from_millis(500)), 0);
+        assert_eq!(
+            m.bytes_delivered_by(FlowId(1), SimTime::from_secs(1)),
+            1_000_000
+        );
+        assert_eq!(
+            m.bytes_delivered_by(FlowId(1), SimTime::from_secs(3)),
+            3_000_000
+        );
+        assert_eq!(
+            m.bytes_delivered_by(FlowId(1), SimTime::from_millis(500)),
+            0
+        );
         // Over [1 s, 2 s] the flow moved 2 MB = 16 Mbit/s.
         let bps = m.goodput_bps_windowed(|_| true, SimTime::from_secs(1), SimTime::from_secs(2));
         assert!((bps - 16e6).abs() < 1.0, "got {bps}");
@@ -307,8 +329,14 @@ mod tests {
     fn completion_counts_as_progress() {
         let mut m = FlowMetrics::new();
         m.ingest(&signals_for_flow(4, 0, 500, 70_000));
-        assert_eq!(m.bytes_delivered_by(FlowId(4), SimTime::from_secs(1)), 70_000);
-        assert_eq!(m.bytes_delivered_by(FlowId(4), SimTime::from_millis(100)), 0);
+        assert_eq!(
+            m.bytes_delivered_by(FlowId(4), SimTime::from_secs(1)),
+            70_000
+        );
+        assert_eq!(
+            m.bytes_delivered_by(FlowId(4), SimTime::from_millis(100)),
+            0
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod stats;
 pub mod table;
 
 pub use fct::{FlowMetrics, FlowRecord};
-pub use netstats::{loss_report, overall_utilisation, tier_utilisation, LayerLoss, LossReport, UtilisationReport};
+pub use netstats::{
+    loss_report, overall_utilisation, tier_utilisation, LayerLoss, LossReport, UtilisationReport,
+};
 pub use stats::{percentile, percentile_sorted, Histogram, Summary};
 pub use table::{f2, f4, pct, Table};

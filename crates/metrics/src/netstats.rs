@@ -236,7 +236,11 @@ mod tests {
             link_tiers: topo.link_tiers,
             path_model: topo.path_model,
         };
-        let u = tier_utilisation(&rebuilt, LinkTier::AggregationCore, SimDuration::from_micros(24));
+        let u = tier_utilisation(
+            &rebuilt,
+            LinkTier::AggregationCore,
+            SimDuration::from_micros(24),
+        );
         assert!(u.bytes >= 1500);
         assert!(u.mean > 0.0);
         assert!(u.max > 0.4);

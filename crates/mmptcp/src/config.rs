@@ -230,15 +230,21 @@ mod tests {
     #[test]
     fn topology_specs_build() {
         assert_eq!(
-            TopologySpec::FatTree(FatTreeConfig::small()).build().host_count(),
+            TopologySpec::FatTree(FatTreeConfig::small())
+                .build()
+                .host_count(),
             16
         );
         assert_eq!(
-            TopologySpec::Dumbbell(DumbbellConfig::default()).build().host_count(),
+            TopologySpec::Dumbbell(DumbbellConfig::default())
+                .build()
+                .host_count(),
             4
         );
         assert_eq!(
-            TopologySpec::Parallel(ParallelPathConfig::default()).build().host_count(),
+            TopologySpec::Parallel(ParallelPathConfig::default())
+                .build()
+                .host_count(),
             2
         );
         assert!(TopologySpec::Vl2(Vl2Config::default()).build().host_count() > 0);

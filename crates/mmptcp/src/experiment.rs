@@ -109,7 +109,10 @@ fn build_sender(
 /// the conventional K = 20 packets.
 fn ensure_ecn_marking(config: &mut ExperimentConfig) {
     let needs_ecn = matches!(config.protocol, Protocol::Dctcp | Protocol::D2tcp)
-        || matches!(config.long_protocol, Some(Protocol::Dctcp) | Some(Protocol::D2tcp));
+        || matches!(
+            config.long_protocol,
+            Some(Protocol::Dctcp) | Some(Protocol::D2tcp)
+        );
     if !needs_ecn {
         return;
     }
@@ -127,11 +130,7 @@ fn ensure_ecn_marking(config: &mut ExperimentConfig) {
 }
 
 /// Generate the workload for a topology.
-fn generate_workload(
-    spec: &WorkloadSpec,
-    hosts: &[Addr],
-    rng: &mut SimRng,
-) -> Workload {
+fn generate_workload(spec: &WorkloadSpec, hosts: &[Addr], rng: &mut SimRng) -> Workload {
     match spec {
         WorkloadSpec::Paper(cfg) => paper_workload(hosts, cfg, rng),
         WorkloadSpec::Incast {
@@ -320,11 +319,7 @@ mod tests {
             Protocol::mmptcp_default(),
         ] {
             let r = run(one_flow_config(p));
-            assert!(
-                r.all_short_completed,
-                "protocol {:?} failed to complete",
-                p
-            );
+            assert!(r.all_short_completed, "protocol {:?} failed to complete", p);
         }
     }
 

@@ -40,10 +40,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod driver;
 pub mod experiment;
 pub mod results;
 
 pub use config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
+pub use driver::{Driver, ExperimentSweep};
 pub use experiment::run;
 pub use results::{ExperimentResults, RunSummary};
 
@@ -57,13 +59,12 @@ pub use workload;
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
+    pub use crate::driver::{Driver, ExperimentSweep};
     pub use crate::experiment::run;
     pub use crate::results::{ExperimentResults, RunSummary};
     pub use metrics::{Summary, Table};
     pub use netsim::{Addr, FlowId, SimDuration, SimTime};
-    pub use topology::{
-        DumbbellConfig, FatTreeConfig, ParallelPathConfig, Vl2Config,
-    };
+    pub use topology::{DumbbellConfig, FatTreeConfig, ParallelPathConfig, Vl2Config};
     pub use transport::{DupAckPolicy, MmptcpPhase, SwitchStrategy, TransportConfig};
     pub use workload::{
         ArrivalProcess, DeadlineModel, FlowClass, FlowSizeModel, FlowSpec, PaperWorkloadConfig,

@@ -126,12 +126,15 @@ impl ExperimentResults {
             None => netsim::SimTime::ZERO + self.elapsed,
         };
         match self.goodput_horizon {
-            Some(_) => self
-                .metrics
-                .goodput_bps_windowed(|f| self.long_ids.contains(&f), netsim::SimTime::ZERO, end),
-            None => self
-                .metrics
-                .goodput_bps(|f| self.long_ids.contains(&f), netsim::SimTime::ZERO, end),
+            Some(_) => self.metrics.goodput_bps_windowed(
+                |f| self.long_ids.contains(&f),
+                netsim::SimTime::ZERO,
+                end,
+            ),
+            None => {
+                self.metrics
+                    .goodput_bps(|f| self.long_ids.contains(&f), netsim::SimTime::ZERO, end)
+            }
         }
     }
 

@@ -73,7 +73,11 @@ impl Host {
 
     /// Install an agent under `flow`. Replaces (and returns) any previous
     /// agent registered under the same flow.
-    pub fn register_agent(&mut self, flow: FlowId, agent: Box<dyn Agent>) -> Option<Box<dyn Agent>> {
+    pub fn register_agent(
+        &mut self,
+        flow: FlowId,
+        agent: Box<dyn Agent>,
+    ) -> Option<Box<dyn Agent>> {
         self.agents.insert(flow, agent)
     }
 
@@ -170,7 +174,9 @@ mod tests {
         }
     }
 
-    fn ctx_parts() -> (SimRng, Vec<Packet>, Vec<(SimTime, u64)>, Vec<Signal>) {
+    type Timers = Vec<(SimTime, u64)>;
+
+    fn ctx_parts() -> (SimRng, Vec<Packet>, Timers, Vec<Signal>) {
         (SimRng::new(1), Vec::new(), Vec::new(), Vec::new())
     }
 
@@ -192,7 +198,13 @@ mod tests {
     #[test]
     fn demux_by_flow_id() {
         let mut host = Host::new(NodeId(5), Addr(2), 0);
-        host.register_agent(FlowId(1), Box::new(Counter { packets: 0, timers: 0 }));
+        host.register_agent(
+            FlowId(1),
+            Box::new(Counter {
+                packets: 0,
+                timers: 0,
+            }),
+        );
         let (mut rng, mut out, mut timers, mut signals) = ctx_parts();
         let mut ctx = AgentCtx::new(
             SimTime::ZERO,
@@ -213,7 +225,13 @@ mod tests {
     #[test]
     fn dispatch_reports_missing_agent() {
         let mut host = Host::new(NodeId(5), Addr(2), 0);
-        host.register_agent(FlowId(1), Box::new(Counter { packets: 0, timers: 0 }));
+        host.register_agent(
+            FlowId(1),
+            Box::new(Counter {
+                packets: 0,
+                timers: 0,
+            }),
+        );
         let (mut rng, mut out, mut timers, mut signals) = ctx_parts();
         let mut ctx = AgentCtx::new(
             SimTime::ZERO,
@@ -230,8 +248,20 @@ mod tests {
     #[test]
     fn register_remove_and_list() {
         let mut host = Host::new(NodeId(5), Addr(2), 0);
-        host.register_agent(FlowId(3), Box::new(Counter { packets: 0, timers: 0 }));
-        host.register_agent(FlowId(1), Box::new(Counter { packets: 0, timers: 0 }));
+        host.register_agent(
+            FlowId(3),
+            Box::new(Counter {
+                packets: 0,
+                timers: 0,
+            }),
+        );
+        host.register_agent(
+            FlowId(1),
+            Box::new(Counter {
+                packets: 0,
+                timers: 0,
+            }),
+        );
         assert_eq!(host.agent_count(), 2);
         assert!(host.has_agent(FlowId(3)));
         assert_eq!(host.agent_flows(), vec![FlowId(1), FlowId(3)]);

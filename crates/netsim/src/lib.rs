@@ -62,18 +62,19 @@ pub mod time;
 pub mod trace;
 
 pub use agent::{Agent, AgentCtx, AgentEvent};
+pub use event::{BinaryHeapQueue, Event, EventQueue};
 pub use ids::{Addr, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use network::Network;
 pub use node::Node;
-pub use packet::{Ecn, Packet, PacketKind, DEFAULT_MSS, HEADER_BYTES};
+pub use packet::{Ecn, Packet, PacketArena, PacketKind, PacketRef, DEFAULT_MSS, HEADER_BYTES};
 pub use queue::{DropTailQueue, EnqueueOutcome, QueueConfig, QueueStats};
 pub use rng::SimRng;
 pub use signal::Signal;
 pub use sim::{SimCounters, Simulator};
-pub use trace::{LinkSnapshot, QueueMonitor, QueueSample};
 pub use switch::{Switch, SwitchLayer, SwitchStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{LinkSnapshot, QueueMonitor, QueueSample};
 
 pub mod switch;
 

@@ -112,7 +112,7 @@ impl Packet {
             self.src.0 as u64,
             self.dst.0 as u64,
             ((self.src_port as u64) << 16) | self.dst_port as u64,
-            self.flow.0 & 0, // protocol field placeholder; constant so it never skews the hash
+            0, // protocol field placeholder; constant so it never skews the hash
         ]
     }
 
@@ -195,6 +195,121 @@ impl Packet {
     }
 }
 
+/// A generational handle into a [`PacketArena`].
+///
+/// Events carry this 8-byte handle instead of the ~100-byte [`Packet`], so
+/// calendar nodes stay small and packets are never copied while sitting in
+/// the calendar. The generation counter catches use-after-take bugs: a stale
+/// handle (its slot was reused) panics instead of silently reading another
+/// packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef {
+    index: u32,
+    generation: u32,
+}
+
+/// Slab arena of in-flight packets, indexed by [`PacketRef`].
+///
+/// Packets enter when a transmission is committed to the wire (the
+/// `Delivery` event is scheduled) and leave when the delivery is dispatched;
+/// freed slots are recycled through a free list, so steady-state simulation
+/// does no allocation for packet transport.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    packet: Option<Packet>,
+}
+
+impl PacketArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Create an arena with room for `capacity` packets before growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PacketArena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Store `packet`, returning its handle.
+    pub fn insert(&mut self, packet: Packet) -> PacketRef {
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                debug_assert!(slot.packet.is_none());
+                slot.packet = Some(packet);
+                PacketRef {
+                    index,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("packet arena full");
+                self.slots.push(Slot {
+                    generation: 0,
+                    packet: Some(packet),
+                });
+                PacketRef {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Remove and return the packet behind `handle`, freeing its slot.
+    ///
+    /// Panics if the handle is stale (already taken, or from another arena):
+    /// that is always an engine bug, never a recoverable condition.
+    pub fn take(&mut self, handle: PacketRef) -> Packet {
+        let slot = &mut self.slots[handle.index as usize];
+        assert_eq!(
+            slot.generation, handle.generation,
+            "stale PacketRef: slot reused since this handle was issued"
+        );
+        let packet = slot
+            .packet
+            .take()
+            .expect("PacketRef taken twice (generation should have caught this)");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        packet
+    }
+
+    /// Read-only access to the packet behind `handle`, if it is still live.
+    pub fn get(&self, handle: PacketRef) -> Option<&Packet> {
+        let slot = self.slots.get(handle.index as usize)?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.packet.as_ref()
+    }
+
+    /// Number of packets currently stored.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether the arena holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever allocated (high-water mark of in-flight packets).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +371,38 @@ mod tests {
     #[test]
     fn default_ecn_is_not_capable() {
         assert_eq!(Ecn::default(), Ecn::NotCapable);
+    }
+
+    #[test]
+    fn arena_roundtrips_and_recycles_slots() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(sample());
+        let mut second = sample();
+        second.seq = 9_999;
+        let b = arena.insert(second);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a).unwrap().seq, 1400);
+        let taken = arena.take(b);
+        assert_eq!(taken.seq, 9_999);
+        assert_eq!(arena.len(), 1);
+        // The freed slot is reused with a new generation.
+        let c = arena.insert(sample());
+        assert_eq!(arena.capacity(), 2);
+        assert_ne!(b, c);
+        assert!(arena.get(b).is_none(), "stale handle must not resolve");
+        assert!(arena.get(c).is_some());
+        arena.take(a);
+        arena.take(c);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn arena_panics_on_stale_take() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(sample());
+        arena.take(a);
+        arena.insert(sample()); // reuses the slot, bumping the generation
+        arena.take(a); // stale
     }
 }

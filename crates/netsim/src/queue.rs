@@ -80,13 +80,29 @@ impl DropTailQueue {
 
     /// Offer a packet to the queue. On success the packet is stored (and
     /// possibly ECN-marked); on failure it is dropped and counted.
-    pub fn enqueue(&mut self, mut packet: Packet) -> EnqueueOutcome {
+    pub fn enqueue(&mut self, packet: Packet) -> EnqueueOutcome {
+        self.enqueue_with_extra(packet, 0, 0)
+    }
+
+    /// Offer a packet while `extra_packets`/`extra_bytes` of occupancy are
+    /// conceptually still in the queue but stored elsewhere — used by the
+    /// link's batched drain, whose committed-but-not-yet-serialising packets
+    /// must keep counting towards drop and ECN decisions so batching does
+    /// not change them (up to the exact-instant tie convention documented on
+    /// the link's committed ledger).
+    pub fn enqueue_with_extra(
+        &mut self,
+        mut packet: Packet,
+        extra_packets: usize,
+        extra_bytes: u64,
+    ) -> EnqueueOutcome {
         let wire = packet.wire_bytes() as u64;
-        let over_packets = self.packets.len() >= self.config.limit_packets;
+        let depth = self.packets.len() + extra_packets;
+        let over_packets = depth >= self.config.limit_packets;
         let over_bytes = self
             .config
             .limit_bytes
-            .map(|lim| self.bytes + wire > lim)
+            .map(|lim| self.bytes + extra_bytes + wire > lim)
             .unwrap_or(false);
         if over_packets || over_bytes {
             self.stats.dropped += 1;
@@ -96,7 +112,7 @@ impl DropTailQueue {
 
         let mut marked = false;
         if let Some(k) = self.config.ecn_threshold_packets {
-            if self.packets.len() >= k && packet.ecn == Ecn::Capable {
+            if depth >= k && packet.ecn == Ecn::Capable {
                 packet.ecn = Ecn::CongestionExperienced;
                 self.stats.ecn_marked += 1;
                 marked = true;
@@ -106,8 +122,8 @@ impl DropTailQueue {
         self.bytes += wire;
         self.packets.push_back(packet);
         self.stats.enqueued += 1;
-        if self.packets.len() > self.stats.max_depth_packets {
-            self.stats.max_depth_packets = self.packets.len();
+        if depth + 1 > self.stats.max_depth_packets {
+            self.stats.max_depth_packets = depth + 1;
         }
         if marked {
             EnqueueOutcome::QueuedMarked
@@ -214,7 +230,10 @@ mod tests {
         assert_eq!(q.enqueue(pkt(1400)), EnqueueOutcome::Queued);
         // The second 1400B packet would exceed 2000 wire bytes.
         assert_eq!(q.enqueue(pkt(1400)), EnqueueOutcome::Dropped);
-        assert_eq!(q.stats().dropped_bytes, 1400 + crate::packet::HEADER_BYTES as u64);
+        assert_eq!(
+            q.stats().dropped_bytes,
+            1400 + crate::packet::HEADER_BYTES as u64
+        );
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! source-port draws, Poisson inter-arrival times, permutation shuffles —
 //! derives from a single seeded generator so a given seed always reproduces
 //! the exact same packet-level schedule.
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (seeded through SplitMix64,
+//! the reference initialisation), so the simulator has no external
+//! dependencies and its streams are bit-for-bit stable across toolchains.
 
 /// The simulator's random number generator.
 ///
@@ -16,17 +16,30 @@ use rand::{Rng, RngCore, SeedableRng};
 /// cryptographic — determinism and speed are what matter here.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created with.
@@ -41,25 +54,27 @@ impl SimRng {
         // Mix the label in so forks with different labels are decorrelated
         // even when requested back-to-back.
         let s = self
-            .inner
             .next_u64()
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(label.wrapping_mul(0xD1B5_4A32_D192_ED03));
         SimRng::new(s)
     }
 
-    /// Uniform sample from a range, e.g. `rng.range(0..n)`.
+    /// Uniform sample from an integer range, e.g. `rng.range(0..n)` or
+    /// `rng.range(1..=6)`.
     pub fn range<T, R>(&mut self, range: R) -> T
     where
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample(self, lo, hi_inclusive)
     }
 
     /// A uniform f64 in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
@@ -79,35 +94,94 @@ impl SimRng {
 
     /// A uniformly random ephemeral (source) port in the 49152..=65535 range.
     pub fn ephemeral_port(&mut self) -> u16 {
-        self.inner.gen_range(49152..=65535u16)
+        self.range(49152..=65535u16)
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range(0..=i);
             slice.swap(i, j);
         }
     }
 
-    /// A raw 64-bit draw (e.g. for hash salts).
+    /// A raw 64-bit draw (e.g. for hash salts). xoshiro256++ output function.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A raw 32-bit draw.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform u64 in `[0, bound)` by Lemire-style rejection (unbiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling over the largest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone || zone == u64::MAX {
+                return v % bound;
+            }
+        }
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Integer types that [`SimRng::range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi]` (both inclusive).
+    fn sample(rng: &mut SimRng, lo: Self, hi: Self) -> Self;
+    /// The previous representable value (used to convert exclusive upper
+    /// bounds into inclusive ones).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+            fn prev(self) -> Self {
+                self.checked_sub(1).expect("empty sample range")
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Ranges accepted by [`SimRng::range`]: `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T: SampleUniform> {
+    /// The `(low, high_inclusive)` bounds of the range.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.prev())
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        self.into_inner()
     }
 }
 
@@ -183,5 +257,34 @@ mod tests {
         let mut rng = SimRng::new(5);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0 + 1e-9));
+    }
+
+    #[test]
+    fn range_covers_bounds_uniformly() {
+        let mut rng = SimRng::new(13);
+        let mut counts = [0usize; 6];
+        for _ in 0..6000 {
+            counts[rng.range(0..6usize)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 700, "value {i} drawn only {c} times");
+        }
+        // Inclusive ranges reach their upper bound.
+        let mut hit_hi = false;
+        for _ in 0..200 {
+            if rng.range(0..=3u32) == 3 {
+                hit_hi = true;
+            }
+        }
+        assert!(hit_hi);
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

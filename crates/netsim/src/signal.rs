@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn accessors_cover_all_variants() {
-        let signals = vec![
+        let signals = [
             Signal::FlowStarted {
                 flow: FlowId(1),
                 at: SimTime::from_millis(1),

@@ -9,8 +9,9 @@
 use crate::agent::{Agent, AgentCtx, AgentEvent};
 use crate::event::{Event, EventQueue};
 use crate::ids::{FlowId, LinkId, NodeId};
+use crate::link::StartedTransmission;
 use crate::network::Network;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketArena, PacketRef};
 use crate::rng::SimRng;
 use crate::signal::Signal;
 use crate::time::SimTime;
@@ -35,14 +36,19 @@ pub struct SimCounters {
 pub struct Simulator {
     network: Network,
     queue: EventQueue,
+    /// In-flight packets, owned here and referenced from `Delivery` events by
+    /// small generational handles.
+    arena: PacketArena,
     now: SimTime,
     rng: SimRng,
     signals: Vec<Signal>,
     counters: SimCounters,
     stopped: bool,
-    // Reusable scratch buffers for agent activations (avoids per-event allocation).
+    // Reusable scratch buffers for agent activations and link bursts (avoids
+    // per-event allocation).
     scratch_out: Vec<Packet>,
     scratch_timers: Vec<(SimTime, u64)>,
+    scratch_tx: Vec<StartedTransmission>,
 }
 
 impl Simulator {
@@ -51,6 +57,7 @@ impl Simulator {
         Simulator {
             network,
             queue: EventQueue::new(),
+            arena: PacketArena::with_capacity(256),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             signals: Vec::new(),
@@ -58,6 +65,7 @@ impl Simulator {
             stopped: false,
             scratch_out: Vec::with_capacity(64),
             scratch_timers: Vec::with_capacity(16),
+            scratch_tx: Vec::with_capacity(16),
         }
     }
 
@@ -105,7 +113,8 @@ impl Simulator {
 
     /// Schedule agent `flow` on `host` to receive [`AgentEvent::Start`] at `at`.
     pub fn schedule_flow_start(&mut self, at: SimTime, host: NodeId, flow: FlowId) {
-        self.queue.schedule(at, Event::FlowStart { node: host, flow });
+        self.queue
+            .schedule(at, Event::FlowStart { node: host, flow });
     }
 
     /// Schedule the simulation to stop at `at` (events after `at` remain in
@@ -119,6 +128,11 @@ impl Simulator {
         self.queue.len()
     }
 
+    /// Number of packets currently in flight (owned by the packet arena).
+    pub fn in_flight_packets(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Whether a `Stop` event has been processed.
     pub fn is_stopped(&self) -> bool {
         self.stopped
@@ -130,6 +144,12 @@ impl Simulator {
         let Some((at, event)) = self.queue.pop() else {
             return false;
         };
+        self.process(at, event)
+    }
+
+    /// Advance the clock to `at` and dispatch one popped event. Returns
+    /// `false` if it was a stop event.
+    fn process(&mut self, at: SimTime, event: Event) -> bool {
         debug_assert!(at >= self.now, "event scheduled in the past");
         self.now = at;
         self.counters.events_processed += 1;
@@ -156,14 +176,22 @@ impl Simulator {
     }
 
     /// Run until simulated time reaches `until` (inclusive of events at
-    /// exactly `until`), the calendar empties, or a stop event fires. The
-    /// clock is left at `until` if it was reached.
+    /// exactly `until`), the calendar empties, or a stop event fires.
+    ///
+    /// Unless a stop event fired, the clock is always left at `until` —
+    /// including when the calendar empties mid-window or was empty to begin
+    /// with — so back-to-back `run_until` calls advance time monotonically
+    /// and interval-based harness logic (progress sampling, load injection)
+    /// can rely on `now()` afterwards.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until || self.stopped {
+        while !self.stopped {
+            // Bounded pop: locates the next event once (no peek-then-pop
+            // double scan of the wheel) and leaves it pending if it lies
+            // beyond the window.
+            let Some((at, event)) = self.queue.pop_at_or_before(until) else {
                 break;
-            }
-            if !self.step() {
+            };
+            if !self.process(at, event) {
                 break;
             }
         }
@@ -173,8 +201,15 @@ impl Simulator {
     }
 
     /// Send [`AgentEvent::Finalize`] to every agent on every host so they can
-    /// emit closing measurements (e.g. background-flow progress reports).
+    /// emit closing measurements (e.g. background-flow progress reports), and
+    /// settle every link's batched-drain ledger so link statistics read after
+    /// the run reflect exactly the transmissions that started by `now` —
+    /// independent of `drain_batch`.
     pub fn finalize(&mut self) {
+        let now = self.now;
+        for link in self.network.links_mut() {
+            link.settle(now);
+        }
         let hosts: Vec<NodeId> = self.network.hosts().to_vec();
         for host in hosts {
             let flows = self
@@ -197,7 +232,8 @@ impl Simulator {
 
     // --- event handlers -------------------------------------------------
 
-    fn handle_delivery(&mut self, link: LinkId, packet: Packet) {
+    fn handle_delivery(&mut self, link: LinkId, handle: PacketRef) {
+        let packet = self.arena.take(handle);
         let to = self.network.link(link).to;
         if self.network.node(to).is_switch() {
             let out = self.network.switch_mut(to).forward(&packet);
@@ -220,18 +256,30 @@ impl Simulator {
     }
 
     fn handle_transmit_complete(&mut self, link: LinkId) {
-        let started = self.network.link_mut(link).on_transmit_complete(self.now);
-        if let Some(tx) = started {
+        let mut burst = std::mem::take(&mut self.scratch_tx);
+        burst.clear();
+        self.network
+            .link_mut(link)
+            .on_transmit_complete(self.now, &mut burst);
+        if let Some(last) = burst.last() {
+            // One TransmitComplete for the whole burst, one Delivery per
+            // packet. Scheduling the completion first mirrors the order the
+            // packet-at-a-time engine used, so `drain_batch = 1` reproduces
+            // its event sequence exactly.
             self.queue
-                .schedule(tx.transmit_done_at, Event::TransmitComplete { link });
-            self.queue.schedule(
-                tx.delivered_at,
-                Event::Delivery {
-                    link,
-                    packet: tx.packet,
-                },
-            );
+                .schedule(last.transmit_done_at, Event::TransmitComplete { link });
+            for tx in burst.drain(..) {
+                let handle = self.arena.insert(tx.packet);
+                self.queue.schedule(
+                    tx.delivered_at,
+                    Event::Delivery {
+                        link,
+                        packet: handle,
+                    },
+                );
+            }
         }
+        self.scratch_tx = burst;
     }
 
     fn dispatch_agent(&mut self, node: NodeId, flow: FlowId, event: AgentEvent) {
@@ -294,11 +342,12 @@ impl Simulator {
             Ok(Some(tx)) => {
                 self.queue
                     .schedule(tx.transmit_done_at, Event::TransmitComplete { link });
+                let handle = self.arena.insert(tx.packet);
                 self.queue.schedule(
                     tx.delivered_at,
                     Event::Delivery {
                         link,
-                        packet: tx.packet,
+                        packet: handle,
                     },
                 );
             }
@@ -570,6 +619,228 @@ mod tests {
         let signals = sim.drain_signals();
         assert_eq!(signals.len(), 1);
         assert!(matches!(signals[0], Signal::FlowProgress { bytes: 42, .. }));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_calendar_empties_mid_window() {
+        // Regression: the clock must land on `until` even when the last event
+        // fires well before the window ends (and when the calendar was empty
+        // to begin with), so interval-driven harness loops see monotone time.
+        let (net, h0, h1) = two_host_network();
+        let mut sim = Simulator::new(net, 7);
+        let flow = FlowId(1);
+        sim.register_agent(
+            h0,
+            flow,
+            Box::new(StopAndWaitSender {
+                src: Addr(0),
+                dst: Addr(1),
+                flow,
+                segments_left: 1,
+                seq: 0,
+                payload: 1400,
+            }),
+        );
+        sim.register_agent(h1, flow, Box::new(AckEverything));
+        sim.schedule_flow_start(SimTime::from_millis(1), h0, flow);
+        // The one-segment transfer finishes within ~1.05 ms; the window ends
+        // at 50 ms.
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.pending_events(), 0, "calendar must have emptied");
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        // An empty calendar still advances the clock.
+        sim.run_until(SimTime::from_millis(80));
+        assert_eq!(sim.now(), SimTime::from_millis(80));
+        // ... but never backwards.
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(80));
+    }
+
+    #[test]
+    fn run_until_leaves_clock_at_stop_time_when_stopped() {
+        let (net, _h0, _h1) = two_host_network();
+        let mut sim = Simulator::new(net, 7);
+        sim.schedule_stop(SimTime::from_millis(3));
+        sim.run_until(SimTime::from_millis(50));
+        assert!(sim.is_stopped());
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+    }
+
+    /// A sender that blasts `count` segments in one activation, forcing queue
+    /// build-up and batched drains on its uplink.
+    struct BurstSender {
+        src: Addr,
+        dst: Addr,
+        flow: FlowId,
+        count: u32,
+        payload: u32,
+    }
+
+    impl Agent for BurstSender {
+        fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+            if matches!(event, AgentEvent::Start) {
+                for i in 0..self.count {
+                    let seq = (i * self.payload) as u64;
+                    ctx.send(Packet::data(
+                        self.src,
+                        self.dst,
+                        50_000,
+                        80,
+                        self.flow,
+                        0,
+                        seq,
+                        seq,
+                        self.payload,
+                        ctx.now(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Receiver that signals the arrival time of every packet (so tests can
+    /// compare full delivery schedules, not just totals).
+    struct ArrivalRecorder;
+    impl Agent for ArrivalRecorder {
+        fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+            if let AgentEvent::Packet(p) = event {
+                ctx.signal(Signal::FlowProgress {
+                    flow: ctx.flow(),
+                    at: ctx.now(),
+                    bytes: p.seq,
+                });
+            }
+        }
+    }
+
+    fn run_burst(drain_batch: usize, count: u32) -> (SimCounters, Vec<Signal>) {
+        let mut net = Network::new();
+        let h0 = net.add_host();
+        let h1 = net.add_host();
+        let sw = net.add_switch(SwitchLayer::Edge, 2);
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000_000,
+            delay: SimDuration::from_micros(10),
+            drain_batch,
+            // Small queue so the burst also exercises identical drop
+            // behaviour under both drain modes.
+            queue: crate::queue::QueueConfig {
+                limit_packets: 20,
+                ..Default::default()
+            },
+        };
+        let (_h0_up, h0_down) = net.add_duplex_link(h0, sw, cfg);
+        let (_h1_up, h1_down) = net.add_duplex_link(h1, sw, cfg);
+        let sw_ref = net.switch_mut(sw);
+        let g0 = sw_ref.add_group(vec![h0_down]);
+        let g1 = sw_ref.add_group(vec![h1_down]);
+        sw_ref.set_route(Addr(0), g0);
+        sw_ref.set_route(Addr(1), g1);
+
+        let mut sim = Simulator::new(net, 11);
+        let flow = FlowId(1);
+        sim.register_agent(
+            h0,
+            flow,
+            Box::new(BurstSender {
+                src: Addr(0),
+                dst: Addr(1),
+                flow,
+                count,
+                payload: 1400,
+            }),
+        );
+        sim.register_agent(h1, flow, Box::new(ArrivalRecorder));
+        sim.schedule_flow_start(SimTime::from_millis(1), h0, flow);
+        sim.run();
+        let signals = sim.drain_signals();
+        (sim.counters(), signals)
+    }
+
+    #[test]
+    fn batched_drain_matches_packet_at_a_time_engine() {
+        // Same burst through drain_batch = 1 (the legacy engine, one
+        // TransmitComplete per packet) and drain_batch = 8: every packet must
+        // arrive at the same simulated instant with the same drops.
+        let (c1, s1) = run_burst(1, 60);
+        let (c8, s8) = run_burst(8, 60);
+        assert_eq!(s1, s8, "delivery schedule must be identical");
+        assert_eq!(c1.delivered_to_hosts, c8.delivered_to_hosts);
+        assert_eq!(c1.forwarded, c8.forwarded);
+        assert_eq!(c1.dropped, c8.dropped);
+        assert!(c1.dropped > 0, "burst should overflow the 20-packet queue");
+        // Batching is the whole point: strictly fewer calendar events.
+        assert!(
+            c8.events_processed < c1.events_processed,
+            "batched: {} vs unbatched: {}",
+            c8.events_processed,
+            c1.events_processed
+        );
+    }
+
+    #[test]
+    fn truncated_run_link_stats_match_packet_at_a_time_engine() {
+        // Stop mid-burst and read link stats the way the experiment harness
+        // does (finalize, then network stats): the batched engine must report
+        // exactly the transmissions that started by the truncation instant,
+        // like drain_batch = 1 would.
+        let run_truncated = |drain_batch: usize| {
+            let mut net = Network::new();
+            let h0 = net.add_host();
+            let h1 = net.add_host();
+            let sw = net.add_switch(SwitchLayer::Edge, 2);
+            let cfg = LinkConfig {
+                rate_bps: 1_000_000_000,
+                delay: SimDuration::from_micros(10),
+                drain_batch,
+                queue: crate::queue::QueueConfig::default(),
+            };
+            let (_h0_up, h0_down) = net.add_duplex_link(h0, sw, cfg);
+            let (_h1_up, h1_down) = net.add_duplex_link(h1, sw, cfg);
+            let sw_ref = net.switch_mut(sw);
+            let g0 = sw_ref.add_group(vec![h0_down]);
+            let g1 = sw_ref.add_group(vec![h1_down]);
+            sw_ref.set_route(Addr(0), g0);
+            sw_ref.set_route(Addr(1), g1);
+            let mut sim = Simulator::new(net, 3);
+            let flow = FlowId(1);
+            sim.register_agent(
+                h0,
+                flow,
+                Box::new(BurstSender {
+                    src: Addr(0),
+                    dst: Addr(1),
+                    flow,
+                    count: 40,
+                    payload: 1400,
+                }),
+            );
+            sim.register_agent(h1, flow, Box::new(ArrivalRecorder));
+            sim.schedule_flow_start(SimTime::from_millis(1), h0, flow);
+            // 1454B wire = 11.632 us serialisation; truncate mid-way through
+            // the third committed burst on the uplink.
+            sim.run_until(SimTime::from_millis(1) + SimDuration::from_micros(250));
+            sim.finalize();
+            let totals = sim
+                .network()
+                .links()
+                .iter()
+                .map(|l| l.stats())
+                .fold((0u64, 0u64, 0u64), |acc, s| {
+                    (acc.0 + s.tx_packets, acc.1 + s.tx_bytes, acc.2 + s.busy_ns)
+                });
+            totals
+        };
+        let batched = run_truncated(8);
+        let unbatched = run_truncated(1);
+        assert_eq!(batched, unbatched, "(tx_packets, tx_bytes, busy_ns)");
+        assert!(batched.0 > 0, "some packets must have started by the cut");
+    }
+
+    #[test]
+    fn in_flight_packets_return_to_arena() {
+        let (sim, _signals) = run_transfer(10);
+        assert_eq!(sim.in_flight_packets(), 0, "arena must drain with calendar");
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl QueueMonitor {
             self.samples.push(QueueSample {
                 at: now,
                 link,
-                depth_packets: l.queue_len(),
+                depth_packets: l.queue_len_at(now),
                 depth_bytes: 0, // queue byte depth is derivable from packets * MSS; kept cheap
             });
         }

@@ -1,0 +1,24 @@
+//! No-op stand-in for serde's derive macros.
+//!
+//! The build environment is fully offline, so the real `serde` crate cannot
+//! be fetched. The simulator's types carry `#[derive(Serialize, Deserialize)]`
+//! purely as forward-compatible annotations — nothing in the workspace
+//! serialises anything yet — so these derives expand to nothing. When the
+//! workspace gains network access, point the `serde` entry in the root
+//! `[workspace.dependencies]` at crates.io and everything keeps compiling.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helper attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helper attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -44,7 +44,7 @@ impl FatTreeAddressing {
 
     /// Addressing from raw parameters (k and hosts per edge switch).
     pub fn from_parts(k: usize, hosts_per_edge: usize) -> Self {
-        assert!(k >= 2 && k % 2 == 0);
+        assert!(k >= 2 && k.is_multiple_of(2));
         assert!(hosts_per_edge >= 1);
         FatTreeAddressing { k, hosts_per_edge }
     }
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn path_counts_match_fattree_geometry() {
         let a = addressing_paper(); // k = 8, 16 hosts/edge
-        // Same edge.
+                                    // Same edge.
         assert_eq!(a.path_count(Addr(0), Addr(15)), 1);
         // Same pod, different edge.
         assert_eq!(a.path_count(Addr(0), Addr(16)), 4);

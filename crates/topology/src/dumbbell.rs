@@ -48,11 +48,13 @@ pub fn build(config: DumbbellConfig) -> BuiltTopology {
         rate_bps: config.access_rate_bps,
         delay: config.access_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
     let bottleneck = LinkConfig {
         rate_bps: config.bottleneck_rate_bps,
         delay: config.bottleneck_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
 
     let mut net = Network::new();

@@ -106,7 +106,10 @@ impl FatTreeConfig {
     }
 
     fn validate(&self) {
-        assert!(self.k >= 2 && self.k % 2 == 0, "FatTree k must be even and >= 2");
+        assert!(
+            self.k >= 2 && self.k.is_multiple_of(2),
+            "FatTree k must be even and >= 2"
+        );
         assert!(self.oversubscription >= 1, "over-subscription must be >= 1");
     }
 
@@ -129,11 +132,13 @@ pub fn build(config: FatTreeConfig) -> BuiltTopology {
         rate_bps: config.host_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
     let fabric_link = LinkConfig {
         rate_bps: config.fabric_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
 
     let mut net = Network::new();
@@ -271,10 +276,7 @@ pub fn build(config: FatTreeConfig) -> BuiltTopology {
         ),
         hosts,
         link_tiers: tiers,
-        path_model: PathModel::FatTree {
-            k,
-            hosts_per_edge,
-        },
+        path_model: PathModel::FatTree { k, hosts_per_edge },
     }
 }
 
@@ -290,10 +292,7 @@ mod tests {
         let t = build(cfg);
         assert_eq!(t.host_count(), 16);
         // 16 edge+agg (k*k) + 4 core.
-        assert_eq!(
-            t.network.node_count(),
-            16 + cfg.total_switches()
-        );
+        assert_eq!(t.network.node_count(), 16 + cfg.total_switches());
         // Links: 16 host links + 4 pods * 2*2 edge-agg + 4 pods * 2*2 agg-core,
         // each duplex = 2 unidirectional.
         assert_eq!(t.network.link_count(), 2 * (16 + 16 + 16));
@@ -386,7 +385,11 @@ mod tests {
         let cfg = FatTreeConfig::small().with_ecn_threshold(20);
         let t = build(cfg);
         assert_eq!(
-            t.network.link(netsim::LinkId(0)).config.queue.ecn_threshold_packets,
+            t.network
+                .link(netsim::LinkId(0))
+                .config
+                .queue
+                .ecn_threshold_packets,
             Some(20)
         );
     }

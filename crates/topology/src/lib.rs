@@ -16,6 +16,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// The routing-table builders index hosts/pods/edges with the same k-arithmetic
+// the FatTree/VL2 papers use; iterator-chained rewrites of those loops obscure
+// the correspondence without changing the generated code.
+#![allow(clippy::needless_range_loop)]
 
 pub mod addressing;
 pub mod built;

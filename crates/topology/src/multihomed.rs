@@ -15,7 +15,10 @@ use netsim::{Addr, LinkConfig, Network, NodeId, SwitchLayer};
 /// (wrapping around), and edge switches install routes for their secondary
 /// hosts as well.
 pub fn build(config: FatTreeConfig) -> BuiltTopology {
-    assert!(config.k >= 4, "dual-homing needs at least two edge switches per pod");
+    assert!(
+        config.k >= 4,
+        "dual-homing needs at least two edge switches per pod"
+    );
     let k = config.k;
     let half = k / 2;
     let hosts_per_edge = config.hosts_per_edge();
@@ -25,11 +28,13 @@ pub fn build(config: FatTreeConfig) -> BuiltTopology {
         rate_bps: config.host_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
     let fabric_link = LinkConfig {
         rate_bps: config.fabric_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
 
     let mut net = Network::new();
@@ -108,8 +113,7 @@ pub fn build(config: FatTreeConfig) -> BuiltTopology {
             let up_group = sw.add_group(edge_up[pod][e].clone());
             for h in 0..num_hosts {
                 let is_primary = host_pod(h) == pod && host_primary_edge(h) == e;
-                let is_secondary =
-                    host_pod(h) == pod && (host_primary_edge(h) + 1) % half == e;
+                let is_secondary = host_pod(h) == pod && (host_primary_edge(h) + 1) % half == e;
                 if is_primary {
                     let g = sw.add_group(vec![primary_down[h].unwrap()]);
                     sw.set_route(Addr(h as u32), g);
@@ -166,10 +170,7 @@ pub fn build(config: FatTreeConfig) -> BuiltTopology {
         ),
         hosts,
         link_tiers: tiers,
-        path_model: PathModel::MultiHomedFatTree {
-            k,
-            hosts_per_edge,
-        },
+        path_model: PathModel::MultiHomedFatTree { k, hosts_per_edge },
     }
 }
 

@@ -52,11 +52,13 @@ pub fn build(config: ParallelPathConfig) -> BuiltTopology {
         rate_bps: config.access_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
     let core = LinkConfig {
         rate_bps: config.path_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
 
     let mut net = Network::new();

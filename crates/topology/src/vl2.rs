@@ -57,7 +57,10 @@ impl Vl2Config {
 
 /// Build the VL2-style topology.
 pub fn build(config: Vl2Config) -> BuiltTopology {
-    assert!(config.num_aggs >= 2, "VL2 needs at least two aggregation switches");
+    assert!(
+        config.num_aggs >= 2,
+        "VL2 needs at least two aggregation switches"
+    );
     assert!(config.num_tors >= 1 && config.hosts_per_tor >= 1);
     assert!(config.num_intermediates >= 1);
 
@@ -66,11 +69,13 @@ pub fn build(config: Vl2Config) -> BuiltTopology {
         rate_bps: config.host_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
     let fabric_link = LinkConfig {
         rate_bps: config.fabric_rate_bps,
         delay: config.link_delay,
         queue: config.queue,
+        ..LinkConfig::default()
     };
 
     let mut net = Network::new();
@@ -98,9 +103,8 @@ pub fn build(config: Vl2Config) -> BuiltTopology {
     }
 
     // Each ToR connects to two aggregation switches.
-    let tor_aggs = |t: usize| -> [usize; 2] {
-        [(2 * t) % config.num_aggs, (2 * t + 1) % config.num_aggs]
-    };
+    let tor_aggs =
+        |t: usize| -> [usize; 2] { [(2 * t) % config.num_aggs, (2 * t + 1) % config.num_aggs] };
     let mut tor_up = vec![Vec::new(); config.num_tors];
     let mut agg_down = vec![vec![None; config.num_tors]; config.num_aggs];
     for t in 0..config.num_tors {

@@ -298,7 +298,7 @@ mod tests {
                 if self.tx.is_completed() {
                     break;
                 }
-                self.now = self.now + SimDuration::from_micros(100);
+                self.now += SimDuration::from_micros(100);
                 let mut acks = Vec::new();
                 for mut pkt in std::mem::take(&mut self.to_rx) {
                     if mark(&pkt) && pkt.ecn == netsim::Ecn::Capable {
@@ -315,7 +315,7 @@ mod tests {
                     self.rx.handle(&mut ctx, AgentEvent::Packet(pkt));
                 }
                 self.to_tx.extend(acks);
-                self.now = self.now + SimDuration::from_micros(100);
+                self.now += SimDuration::from_micros(100);
                 let mut out = Vec::new();
                 for pkt in std::mem::take(&mut self.to_tx) {
                     let mut ctx = AgentCtx::new(

@@ -396,7 +396,8 @@ impl MmptcpSender {
                     if self.scatter.window_space() < len {
                         break;
                     }
-                    self.scatter.send_segment(ctx, self.next_data_seq, len as u32);
+                    self.scatter
+                        .send_segment(ctx, self.next_data_seq, len as u32);
                     self.next_data_seq += len;
                     // The data-volume trigger is checked as data is handed to
                     // the network, matching the paper's description.
@@ -577,7 +578,7 @@ mod tests {
                 if self.tx.is_completed() {
                     break;
                 }
-                self.now = self.now + SimDuration::from_micros(100);
+                self.now += SimDuration::from_micros(100);
                 let mut acks = Vec::new();
                 for pkt in std::mem::take(&mut self.to_rx) {
                     if drop(&pkt) {
@@ -594,7 +595,7 @@ mod tests {
                     self.rx.handle(&mut ctx, AgentEvent::Packet(pkt));
                 }
                 self.to_tx.extend(acks);
-                self.now = self.now + SimDuration::from_micros(100);
+                self.now += SimDuration::from_micros(100);
                 let mut out = Vec::new();
                 for pkt in std::mem::take(&mut self.to_tx) {
                     let mut ctx = AgentCtx::new(
@@ -670,12 +671,11 @@ mod tests {
             .iter()
             .any(|s| matches!(s, Signal::PhaseSwitched { .. })));
         // MPTCP subflows carried the bulk of the data after the switch.
-        let mptcp_bytes: u64 = l
-            .tx
-            .mptcp_subflows()
-            .iter()
-            .map(|s| s.counters().data_bytes_sent)
-            .sum();
+        let mptcp_bytes: u64 =
+            l.tx.mptcp_subflows()
+                .iter()
+                .map(|s| s.counters().data_bytes_sent)
+                .sum();
         assert!(mptcp_bytes > 0);
         // The PS flow stopped taking new data around the threshold.
         assert!(l.tx.scatter_subflow().counters().data_bytes_sent <= 150_000);
@@ -809,7 +809,7 @@ mod tests {
                 break;
             }
             round += 1;
-            l.now = l.now + SimDuration::from_micros(100);
+            l.now += SimDuration::from_micros(100);
             let mut acks = Vec::new();
             let incoming = std::mem::take(&mut l.to_rx);
             for pkt in incoming {
@@ -843,7 +843,7 @@ mod tests {
                 }
             }
             l.to_tx.extend(acks);
-            l.now = l.now + SimDuration::from_micros(100);
+            l.now += SimDuration::from_micros(100);
             let mut out = Vec::new();
             for pkt in std::mem::take(&mut l.to_tx) {
                 let mut ctx = AgentCtx::new(

@@ -85,11 +85,7 @@ pub fn compute_lia(subflows: &[Subflow]) -> LiaParams {
     for sf in subflows.iter().filter(|s| s.is_established()) {
         let cwnd = sf.cwnd();
         total_cwnd += cwnd;
-        let rtt = sf
-            .srtt()
-            .map(|d| d.as_secs_f64())
-            .unwrap_or(0.0)
-            .max(1e-6);
+        let rtt = sf.srtt().map(|d| d.as_secs_f64()).unwrap_or(0.0).max(1e-6);
         max_term = max_term.max(cwnd / (rtt * rtt));
         sum_term += cwnd / rtt;
     }
@@ -260,11 +256,7 @@ impl MptcpSender {
     }
 
     /// Dispatch a packet to its subflow. Returns the subflow update.
-    fn route_packet(
-        &mut self,
-        ctx: &mut AgentCtx<'_>,
-        pkt: &netsim::Packet,
-    ) -> SubflowUpdate {
+    fn route_packet(&mut self, ctx: &mut AgentCtx<'_>, pkt: &netsim::Packet) -> SubflowUpdate {
         let lia = self.lia();
         let idx = pkt.subflow as usize;
         if idx >= self.subflows.len() {
@@ -388,7 +380,7 @@ mod tests {
         /// One round trip: deliver sender packets (optionally dropping by
         /// predicate), collect ACKs, deliver them back.
         fn round(&mut self, mut drop: impl FnMut(&Packet) -> bool) {
-            self.now = self.now + SimDuration::from_micros(100);
+            self.now += SimDuration::from_micros(100);
             let mut acks = Vec::new();
             for pkt in std::mem::take(&mut self.to_rx) {
                 if drop(&pkt) {
@@ -405,7 +397,7 @@ mod tests {
                 self.rx.handle(&mut ctx, AgentEvent::Packet(pkt));
             }
             self.to_tx.extend(acks);
-            self.now = self.now + SimDuration::from_micros(100);
+            self.now += SimDuration::from_micros(100);
             let mut out = Vec::new();
             for pkt in std::mem::take(&mut self.to_tx) {
                 let mut ctx = AgentCtx::new(

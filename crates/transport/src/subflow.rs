@@ -405,7 +405,10 @@ impl Subflow {
     /// `[data_seq, data_seq + len)`. The caller is responsible for respecting
     /// [`Subflow::window_space`].
     pub fn send_segment(&mut self, ctx: &mut AgentCtx<'_>, data_seq: u64, len: u32) {
-        debug_assert!(self.phase == Phase::Established, "cannot send before handshake");
+        debug_assert!(
+            self.phase == Phase::Established,
+            "cannot send before handshake"
+        );
         debug_assert!(len > 0 && len <= self.cfg.mss);
         let seq = self.snd_nxt;
         self.mappings.insert(seq, (data_seq, len));
@@ -455,7 +458,12 @@ impl Subflow {
             .range(..=self.snd_una)
             .next_back()
             .map(|(s, m)| (*s, *m))
-            .or_else(|| self.mappings.range(self.snd_una..).next().map(|(s, m)| (*s, *m)));
+            .or_else(|| {
+                self.mappings
+                    .range(self.snd_una..)
+                    .next()
+                    .map(|(s, m)| (*s, *m))
+            });
         if let Some((seq, (data_seq, len))) = entry {
             self.transmit(ctx, seq, data_seq, len, true);
         }
@@ -475,14 +483,12 @@ impl Subflow {
     ) -> SubflowUpdate {
         let mut update = SubflowUpdate::default();
         match pkt.kind {
-            PacketKind::SynAck => {
-                if self.phase == Phase::SynSent {
-                    self.phase = Phase::Established;
-                    self.cwnd = self.cfg.initial_cwnd_bytes();
-                    self.rtt.on_sample(ctx.now() - pkt.sent_at);
-                    self.cancel_timer();
-                    update.became_established = true;
-                }
+            PacketKind::SynAck if self.phase == Phase::SynSent => {
+                self.phase = Phase::Established;
+                self.cwnd = self.cfg.initial_cwnd_bytes();
+                self.rtt.on_sample(ctx.now() - pkt.sent_at);
+                self.cancel_timer();
+                update.became_established = true;
             }
             PacketKind::Ack | PacketKind::FinAck => {
                 update.merge(self.on_ack(ctx, pkt, lia));
@@ -687,7 +693,7 @@ mod tests {
             f(&mut ctx)
         }
         fn advance(&mut self, d: SimDuration) {
-            self.now = self.now + d;
+            self.now += d;
         }
     }
 
@@ -720,7 +726,17 @@ mod tests {
     }
 
     fn ack_for(sf: &Subflow, ack: u64, sent_at: SimTime) -> Packet {
-        let mut p = Packet::ack(Addr(1), Addr(0), 80, 50_000, FlowId(1), sf.index, ack, ack, sent_at);
+        let mut p = Packet::ack(
+            Addr(1),
+            Addr(0),
+            80,
+            50_000,
+            FlowId(1),
+            sf.index,
+            ack,
+            ack,
+            sent_at,
+        );
         p.sent_at = sent_at;
         p
     }
@@ -909,7 +925,10 @@ mod tests {
         h.with(|ctx| sf.on_packet(ctx, &ack, Some(lia)));
         let growth = sf.cwnd() - before;
         let uncoupled_cap = MSS as f64 * MSS as f64 / before;
-        assert!(growth <= uncoupled_cap + 1.0, "growth {growth} cap {uncoupled_cap}");
+        assert!(
+            growth <= uncoupled_cap + 1.0,
+            "growth {growth} cap {uncoupled_cap}"
+        );
     }
 
     #[test]
@@ -922,7 +941,11 @@ mod tests {
             h.with(|ctx| sf.send_segment(ctx, i * MSS as u64, MSS));
         }
         let ports: std::collections::HashSet<u16> = h.out.iter().map(|p| p.src_port).collect();
-        assert!(ports.len() > 10, "expected many distinct ports, got {}", ports.len());
+        assert!(
+            ports.len() > 10,
+            "expected many distinct ports, got {}",
+            ports.len()
+        );
     }
 
     #[test]

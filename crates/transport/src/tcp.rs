@@ -216,13 +216,13 @@ mod tests {
             if tx.is_completed() {
                 break;
             }
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
             // Deliver sender->receiver packets (possibly dropping some).
             let mut rx_out = Vec::new();
             for pkt in in_flight.drain(..) {
                 sent_count += 1;
                 if let Some(k) = loss_every {
-                    if sent_count % k == 0 {
+                    if sent_count.is_multiple_of(k) {
                         continue; // drop
                     }
                 }
@@ -231,7 +231,7 @@ mod tests {
                 rx.handle(&mut rctx, AgentEvent::Packet(pkt));
             }
             to_sender.extend(rx_out);
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
             // Deliver receiver->sender packets.
             let mut tx_out = Vec::new();
             for pkt in to_sender.drain(..) {
@@ -241,7 +241,8 @@ mod tests {
             }
             in_flight.extend(tx_out);
             // Fire any due timers.
-            let due: Vec<(SimTime, u64)> = timers.iter().copied().filter(|(t, _)| *t <= now).collect();
+            let due: Vec<(SimTime, u64)> =
+                timers.iter().copied().filter(|(t, _)| *t <= now).collect();
             timers.retain(|(t, _)| *t > now);
             for (_, token) in due {
                 let mut tx_out = Vec::new();
@@ -277,8 +278,8 @@ mod tests {
         assert!(tx.is_completed(), "transfer must recover from losses");
         assert_eq!(tx.acked_bytes(), 140_000);
         // Some recovery mechanism fired.
-        let recovered = tx.subflow().counters().fast_retransmits
-            + tx.subflow().counters().rto_count;
+        let recovered =
+            tx.subflow().counters().fast_retransmits + tx.subflow().counters().rto_count;
         assert!(recovered > 0);
         assert!(signals
             .iter()

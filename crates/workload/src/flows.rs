@@ -270,11 +270,7 @@ impl Workload {
 }
 
 /// Generate the paper's workload over the given hosts.
-pub fn paper_workload(
-    hosts: &[Addr],
-    cfg: &PaperWorkloadConfig,
-    rng: &mut SimRng,
-) -> Workload {
+pub fn paper_workload(hosts: &[Addr], cfg: &PaperWorkloadConfig, rng: &mut SimRng) -> Workload {
     assert!(hosts.len() >= 4, "need at least four hosts");
     // Split hosts into long-flow hosts and short-flow hosts. The split is
     // random but deterministic for a given seed.
@@ -317,8 +313,7 @@ pub fn paper_workload(
 
     // Short flows: each short host keeps its single matrix destination and
     // generates a Poisson train of short flows towards it.
-    let short_pairs: Vec<(Addr, Addr)> =
-        short_hosts.iter().map(|&s| (s, dest_of(s))).collect();
+    let short_pairs: Vec<(Addr, Addr)> = short_hosts.iter().map(|&s| (s, dest_of(s))).collect();
     for (src, dst) in short_pairs {
         let mut prev = cfg.short_start;
         for _k in 0..cfg.flows_per_short_host {
@@ -345,14 +340,12 @@ pub fn paper_workload(
 /// Generate an incast workload: `fan_in` senders each send `bytes` to the same
 /// receiver, all starting at `start`. Repeated for as many complete groups as
 /// the host list allows.
-pub fn incast_workload(
-    hosts: &[Addr],
-    fan_in: usize,
-    bytes: u64,
-    start: SimTime,
-) -> Workload {
+pub fn incast_workload(hosts: &[Addr], fan_in: usize, bytes: u64, start: SimTime) -> Workload {
     assert!(fan_in >= 2, "incast needs at least two senders");
-    assert!(hosts.len() > fan_in, "not enough hosts for one incast group");
+    assert!(
+        hosts.len() > fan_in,
+        "not enough hosts for one incast group"
+    );
     let mut flows = Vec::new();
     let mut next_id = 0u64;
     let groups = hosts.len() / (fan_in + 1);
@@ -452,10 +445,7 @@ mod tests {
         for starts in per_src.values() {
             let mut s = starts.clone();
             s.sort_unstable();
-            let gaps: Vec<f64> = s
-                .windows(2)
-                .map(|w| (w[1] - w[0]).as_secs_f64())
-                .collect();
+            let gaps: Vec<f64> = s.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
             assert!(
                 (mean - 0.150).abs() < 0.05,
@@ -469,11 +459,7 @@ mod tests {
         let mut rng = SimRng::new(4);
         assert_eq!(FlowSizeModel::Fixed(70_000).sample(&mut rng), 70_000);
         for _ in 0..100 {
-            let v = FlowSizeModel::Uniform {
-                min: 10,
-                max: 20,
-            }
-            .sample(&mut rng);
+            let v = FlowSizeModel::Uniform { min: 10, max: 20 }.sample(&mut rng);
             assert!((10..=20).contains(&v));
             let w = FlowSizeModel::WebSearch.sample(&mut rng);
             assert!((6_000..=30_000_000).contains(&w));

@@ -210,11 +210,11 @@ mod tests {
             &h,
             &mut rng,
         );
-        let hot_count = pairs
-            .iter()
-            .filter(|(_, d)| d.0 < 2)
-            .count();
-        assert!(hot_count > 50, "expected most flows to hit the hot hosts, got {hot_count}");
+        let hot_count = pairs.iter().filter(|(_, d)| d.0 < 2).count();
+        assert!(
+            hot_count > 50,
+            "expected most flows to hit the hot hosts, got {hot_count}"
+        );
         for (s, d) in pairs {
             assert_ne!(s, d);
         }

@@ -51,11 +51,20 @@ fn describe(label: &str, r: &mmptcp::ExperimentResults) {
     let s = r.short_fct_summary();
     let rec = r.metrics.record(FlowId(0)).unwrap();
     println!("{label}");
-    println!("  completion time : {:.2} ms (mean over both flows {:.2} ms)",
-        r.metrics.fcts_ms(|f| f == FlowId(0)).first().copied().unwrap_or(f64::NAN),
-        s.mean);
+    println!(
+        "  completion time : {:.2} ms (mean over both flows {:.2} ms)",
+        r.metrics
+            .fcts_ms(|f| f == FlowId(0))
+            .first()
+            .copied()
+            .unwrap_or(f64::NAN),
+        s.mean
+    );
     match rec.phase_switched {
-        Some(t) => println!("  phase switch    : at {:.2} ms into the run", t.as_millis_f64()),
+        Some(t) => println!(
+            "  phase switch    : at {:.2} ms into the run",
+            t.as_millis_f64()
+        ),
         None => println!("  phase switch    : never (stayed in packet-scatter mode)"),
     }
     println!("  RTOs            : {}", rec.rtos);
@@ -74,6 +83,12 @@ fn main() {
     let r = mmptcp::run(one_long_flow(SwitchStrategy::Never, size));
     describe("Never switching (packet-scatter only):", &r);
 
-    let r = mmptcp::run(one_long_flow(SwitchStrategy::DataVolume(70_000 * 100), size));
-    describe("Data-volume switching with a huge threshold (7 MB > flow size):", &r);
+    let r = mmptcp::run(one_long_flow(
+        SwitchStrategy::DataVolume(70_000 * 100),
+        size,
+    ));
+    describe(
+        "Data-volume switching with a huge threshold (7 MB > flow size):",
+        &r,
+    );
 }

@@ -33,9 +33,15 @@ fn main() {
     // 3. Read the measurements.
     let summary = results.short_fct_summary();
     println!("experiment : {}", results.name);
-    println!("flows      : {} (all completed: {})", summary.count, results.all_short_completed);
+    println!(
+        "flows      : {} (all completed: {})",
+        summary.count, results.all_short_completed
+    );
     println!("FCT        : {:.3} ms", summary.mean);
-    println!("packets    : {} delivered, {} dropped", results.counters.delivered_to_hosts, results.counters.dropped);
+    println!(
+        "packets    : {} delivered, {} dropped",
+        results.counters.delivered_to_hosts, results.counters.dropped
+    );
     println!("phase switches: {}", results.phase_switches());
     println!();
     println!("A 70 KB flow finishes inside MMPTCP's packet-scatter phase, so no");

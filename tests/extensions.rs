@@ -96,7 +96,10 @@ fn goodput_horizon_bounds_the_measurement_window() {
     let with_horizon = mmptcp::run(deadline_config(Protocol::Tcp, DeadlineModel::None, 11));
     assert!(with_horizon.all_short_completed);
     let goodput = with_horizon.long_goodput_bps();
-    assert!(goodput > 0.0, "long flows must have made progress by 500 ms");
+    assert!(
+        goodput > 0.0,
+        "long flows must have made progress by 500 ms"
+    );
     let long_flows = with_horizon.long_ids.len() as f64;
     assert!(
         goodput <= long_flows * 1e9 * 1.05,
@@ -170,5 +173,9 @@ fn d2tcp_protocol_resolves_and_names_correctly() {
         ..ExperimentConfig::default()
     });
     assert!(r.all_short_completed);
-    assert_eq!(r.deadline_misses(), (0, 1), "an uncontended 70 KB flow meets 50 ms");
+    assert_eq!(
+        r.deadline_misses(),
+        (0, 1),
+        "an uncontended 70 KB flow meets 50 ms"
+    );
 }

@@ -40,7 +40,10 @@ fn both_protocols_complete_the_paper_workload() {
             protocol
         );
         assert!(r.short_fct_summary().count > 10);
-        assert!(r.long_goodput_bps() > 0.0, "long flows should make progress");
+        assert!(
+            r.long_goodput_bps() > 0.0,
+            "long flows should make progress"
+        );
     }
 }
 
@@ -106,7 +109,10 @@ fn figure1_shape_at_benchmark_scale() {
     assert!(mmptcp_r.short_flows_with_rto() < mptcp.short_flows_with_rto());
     let (ga, gb) = (mptcp.long_goodput_bps(), mmptcp_r.long_goodput_bps());
     assert!(ga > 0.0 && gb > 0.0);
-    assert!(ga.max(gb) / ga.min(gb) < 1.3, "long goodput should match: {ga:.2e} vs {gb:.2e}");
+    assert!(
+        ga.max(gb) / ga.min(gb) < 1.3,
+        "long goodput should match: {ga:.2e} vs {gb:.2e}"
+    );
 }
 
 #[test]
@@ -115,7 +121,10 @@ fn long_flow_throughput_is_comparable_between_protocols() {
     let b = mmptcp::run(scenario(Protocol::mmptcp_default(), 5));
     let ga = a.long_goodput_bps();
     let gb = b.long_goodput_bps();
-    println!("long-flow goodput: mptcp {ga:.2e} bps over {}, mmptcp {gb:.2e} bps over {}", a.elapsed, b.elapsed);
+    println!(
+        "long-flow goodput: mptcp {ga:.2e} bps over {}, mmptcp {gb:.2e} bps over {}",
+        a.elapsed, b.elapsed
+    );
     assert!(ga > 0.0 && gb > 0.0);
     // The two runs end at different simulated times (the MPTCP run waits for
     // its RTO-bound stragglers), so the goodput windows differ; "comparable"
@@ -129,8 +138,14 @@ fn long_flow_throughput_is_comparable_between_protocols() {
     // access link on average.
     let per_long_a = ga / a.long_ids.len().max(1) as f64;
     let per_long_b = gb / b.long_ids.len().max(1) as f64;
-    assert!(per_long_a > 5e7, "MPTCP long flows too slow: {per_long_a:.2e} bps each");
-    assert!(per_long_b > 5e7, "MMPTCP long flows too slow: {per_long_b:.2e} bps each");
+    assert!(
+        per_long_a > 5e7,
+        "MPTCP long flows too slow: {per_long_a:.2e} bps each"
+    );
+    assert!(
+        per_long_b > 5e7,
+        "MMPTCP long flows too slow: {per_long_b:.2e} bps each"
+    );
 }
 
 #[test]
@@ -140,10 +155,7 @@ fn deterministic_reproduction_of_the_full_scenario() {
     assert_eq!(a.short_fcts_ms(), b.short_fcts_ms());
     assert_eq!(a.counters, b.counters);
     assert_eq!(a.loss, b.loss);
-    assert_eq!(
-        a.core_utilisation.bytes,
-        b.core_utilisation.bytes
-    );
+    assert_eq!(a.core_utilisation.bytes, b.core_utilisation.bytes);
 }
 
 #[test]

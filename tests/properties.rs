@@ -1,62 +1,86 @@
-//! Cross-crate property-based tests (proptest): invariants that must hold for
-//! arbitrary topologies, workloads and packet arrival orders.
+//! Cross-crate property-style tests: invariants that must hold for arbitrary
+//! topologies, workloads and packet arrival orders.
+//!
+//! The build environment is offline, so instead of proptest these tests draw
+//! their case parameters from a seeded [`SimRng`] — every run explores the
+//! same (deterministic) sample of the input space, which keeps failures
+//! reproducible without a shrinker.
 
 use mmptcp::prelude::*;
 use netsim::{Addr as NAddr, AgentCtx, FlowId as NFlowId, Packet, SimRng};
-use proptest::prelude::*;
 use transport::TransportReceiver;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Number of sampled cases per property, mirroring the old proptest config.
+const CASES: u64 = 64;
 
-    /// The permutation traffic matrix never maps a host to itself and never
-    /// assigns two senders the same destination.
-    #[test]
-    fn permutation_matrix_is_a_derangement(n in 2usize..200, seed in 0u64..1000) {
+/// Deterministic per-case parameter source.
+fn case_rng(test: u64, case: u64) -> SimRng {
+    SimRng::new(0xC0FFEE ^ (test << 32) ^ case)
+}
+
+/// The permutation traffic matrix never maps a host to itself and never
+/// assigns two senders the same destination.
+#[test]
+fn permutation_matrix_is_a_derangement() {
+    for case in 0..CASES {
+        let mut params = case_rng(1, case);
+        let n = params.range(2usize..200);
+        let seed = params.range(0u64..1000);
         let hosts: Vec<Addr> = (0..n as u32).map(Addr).collect();
         let mut rng = SimRng::new(seed);
-        let pairs = workload::assign_destinations(TrafficMatrix::Permutation, &hosts, &hosts, &mut rng);
-        prop_assert_eq!(pairs.len(), n);
+        let pairs =
+            workload::assign_destinations(TrafficMatrix::Permutation, &hosts, &hosts, &mut rng);
+        assert_eq!(pairs.len(), n);
         let mut seen = std::collections::HashSet::new();
         for (s, d) in pairs {
-            prop_assert_ne!(s, d);
-            prop_assert!(seen.insert(d), "duplicate destination");
+            assert_ne!(s, d, "n={n} seed={seed}");
+            assert!(seen.insert(d), "duplicate destination (n={n} seed={seed})");
         }
     }
+}
 
-    /// FatTree construction invariants hold for every legal (k, oversubscription).
-    #[test]
-    fn fattree_structure_invariants(k in prop::sample::select(vec![4usize, 6, 8]),
-                                    oversub in 1usize..=4) {
-        let cfg = FatTreeConfig { k, oversubscription: oversub, ..FatTreeConfig::default() };
-        let topo = topology::fattree::build(cfg);
-        // Host count formula.
-        prop_assert_eq!(topo.host_count(), oversub * k * k * k / 4);
-        // Link tier list covers every link.
-        prop_assert_eq!(topo.link_tiers.len(), topo.network.link_count());
-        // Every switch can reach every host.
-        for node in topo.network.nodes() {
-            if let Some(sw) = node.as_switch() {
-                for h in 0..topo.host_count() {
-                    prop_assert!(sw.path_count(Addr(h as u32)) >= 1);
+/// FatTree construction invariants hold for every legal (k, oversubscription).
+#[test]
+fn fattree_structure_invariants() {
+    for k in [4usize, 6, 8] {
+        for oversub in 1usize..=4 {
+            let cfg = FatTreeConfig {
+                k,
+                oversubscription: oversub,
+                ..FatTreeConfig::default()
+            };
+            let topo = topology::fattree::build(cfg);
+            // Host count formula.
+            assert_eq!(topo.host_count(), oversub * k * k * k / 4);
+            // Link tier list covers every link.
+            assert_eq!(topo.link_tiers.len(), topo.network.link_count());
+            // Every switch can reach every host.
+            for node in topo.network.nodes() {
+                if let Some(sw) = node.as_switch() {
+                    for h in 0..topo.host_count() {
+                        assert!(sw.path_count(Addr(h as u32)) >= 1);
+                    }
                 }
             }
+            // Path-count model is monotone in topological distance.
+            let same_edge = topo.path_count(Addr(0), Addr(1));
+            let inter_pod = topo.path_count(Addr(0), Addr((topo.host_count() - 1) as u32));
+            assert!(same_edge <= inter_pod);
+            assert_eq!(inter_pod, (k / 2) * (k / 2));
         }
-        // Path-count model is monotone in topological distance.
-        let same_edge = topo.path_count(Addr(0), Addr(1));
-        let inter_pod = topo.path_count(Addr(0), Addr((topo.host_count() - 1) as u32));
-        prop_assert!(same_edge <= inter_pod);
-        prop_assert_eq!(inter_pod, (k / 2) * (k / 2));
     }
+}
 
-    /// The receiver reassembles a randomly-ordered stream without losing or
-    /// duplicating bytes, regardless of arrival order and duplication.
-    #[test]
-    fn receiver_reassembly_is_lossless(
-        segments in 1usize..60,
-        seed in 0u64..500,
-        duplicate_every in 2usize..10,
-    ) {
+/// The receiver reassembles a randomly-ordered stream without losing or
+/// duplicating bytes, regardless of arrival order and duplication.
+#[test]
+fn receiver_reassembly_is_lossless() {
+    for case in 0..CASES {
+        let mut params = case_rng(2, case);
+        let segments = params.range(1usize..60);
+        let seed = params.range(0u64..500);
+        let duplicate_every = params.range(2usize..10);
+
         let mss = 1_000u64;
         let total = segments as u64 * mss;
         let mut order: Vec<usize> = (0..segments).collect();
@@ -94,73 +118,104 @@ proptest! {
                 netsim::Agent::handle(&mut rx, &mut ctx, netsim::AgentEvent::Packet(pkt));
             }
             if let Some(ack) = out.last() {
-                prop_assert!(ack.data_ack >= last_data_ack, "data ack went backwards");
+                assert!(ack.data_ack >= last_data_ack, "data ack went backwards");
                 last_data_ack = ack.data_ack;
             }
         }
-        prop_assert_eq!(rx.contiguous_bytes(), total);
-        prop_assert_eq!(last_data_ack, total);
+        assert_eq!(rx.contiguous_bytes(), total);
+        assert_eq!(last_data_ack, total);
     }
+}
 
-    /// Summary statistics are internally consistent for arbitrary samples.
-    #[test]
-    fn summary_statistics_are_consistent(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+/// Summary statistics are internally consistent for arbitrary samples.
+#[test]
+fn summary_statistics_are_consistent() {
+    for case in 0..CASES {
+        let mut params = case_rng(3, case);
+        let len = params.range(1usize..200);
+        let samples: Vec<f64> = (0..len).map(|_| params.unit() * 1e6).collect();
         let s = metrics::Summary::of(&samples);
-        prop_assert_eq!(s.count, samples.len());
-        prop_assert!(s.min <= s.median + 1e-9);
-        prop_assert!(s.median <= s.p95 + 1e-9);
-        prop_assert!(s.p95 <= s.p99 + 1e-9);
-        prop_assert!(s.p99 <= s.max + 1e-9);
-        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert!(s.std_dev >= 0.0);
+        assert_eq!(s.count, samples.len());
+        assert!(s.min <= s.median + 1e-9);
+        assert!(s.median <= s.p95 + 1e-9);
+        assert!(s.p95 <= s.p99 + 1e-9);
+        assert!(s.p99 <= s.max + 1e-9);
+        assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        assert!(s.std_dev >= 0.0);
     }
+}
 
-    /// Paper workload generation: flow counts, classes and sizes are coherent
-    /// for arbitrary host counts and seeds.
-    #[test]
-    fn paper_workload_is_coherent(hosts in 6usize..80, seed in 0u64..200, flows_per_host in 1usize..5) {
+/// Paper workload generation: flow counts, classes and sizes are coherent
+/// for arbitrary host counts and seeds.
+#[test]
+fn paper_workload_is_coherent() {
+    for case in 0..CASES {
+        let mut params = case_rng(4, case);
+        let hosts = params.range(6usize..80);
+        let seed = params.range(0u64..200);
+        let flows_per_host = params.range(1usize..5);
         let addrs: Vec<Addr> = (0..hosts as u32).map(Addr).collect();
-        let cfg = PaperWorkloadConfig { flows_per_short_host: flows_per_host, ..PaperWorkloadConfig::default() };
+        let cfg = PaperWorkloadConfig {
+            flows_per_short_host: flows_per_host,
+            ..PaperWorkloadConfig::default()
+        };
         let mut rng = SimRng::new(seed);
         let w = workload::paper_workload(&addrs, &cfg, &mut rng);
         let long = w.long_count();
         let short = w.short_count();
-        prop_assert!(long >= 1);
-        prop_assert_eq!(short, (hosts - long) * flows_per_host);
+        assert!(long >= 1);
+        assert_eq!(short, (hosts - long) * flows_per_host);
         for f in &w.flows {
-            prop_assert!(f.src.index() < hosts);
-            prop_assert!(f.dst.index() < hosts);
-            prop_assert_ne!(f.src, f.dst);
+            assert!(f.src.index() < hosts);
+            assert!(f.dst.index() < hosts);
+            assert_ne!(f.src, f.dst);
             match f.class {
-                FlowClass::Long => prop_assert!(f.size.is_none()),
-                FlowClass::Short => prop_assert_eq!(f.size, Some(70_000)),
+                FlowClass::Long => assert!(f.size.is_none()),
+                FlowClass::Short => assert_eq!(f.size, Some(70_000)),
             }
         }
     }
+}
 
-    /// ECMP selection is deterministic per 5-tuple and always in range.
-    #[test]
-    fn ecmp_selection_in_range(src in 0u32..1024, dst in 0u32..1024,
-                               sport in 1024u16..65535, salt: u64, n in 1usize..64) {
+/// ECMP selection is deterministic per 5-tuple and always in range.
+#[test]
+fn ecmp_selection_in_range() {
+    for case in 0..CASES {
+        let mut params = case_rng(5, case);
+        let src = params.range(0u32..1024);
+        let dst = params.range(0u32..1024);
+        let sport = params.range(1024u16..65535);
+        let salt = params.next_u64();
+        let n = params.range(1usize..64);
         let pkt = Packet::data(
-            NAddr(src), NAddr(dst), sport, 80, NFlowId(1), 0, 0, 0, 1400,
+            NAddr(src),
+            NAddr(dst),
+            sport,
+            80,
+            NFlowId(1),
+            0,
+            0,
+            0,
+            1400,
             SimTime::ZERO,
         );
         let a = netsim::ecmp::select(&pkt, salt, n);
         let b = netsim::ecmp::select(&pkt, salt, n);
-        prop_assert_eq!(a, b);
-        prop_assert!(a < n);
+        assert_eq!(a, b);
+        assert!(a < n);
     }
+}
 
-    /// Slack-based deadlines scale with flow size, never fall below the floor,
-    /// and are monotone in size.
-    #[test]
-    fn slack_deadlines_are_monotone_and_floored(
-        small in 1_000u64..50_000,
-        extra in 1u64..10_000_000,
-        slack in 1.0f64..50.0,
-        floor_ms in 1u64..100,
-    ) {
+/// Slack-based deadlines scale with flow size, never fall below the floor,
+/// and are monotone in size.
+#[test]
+fn slack_deadlines_are_monotone_and_floored() {
+    for case in 0..CASES {
+        let mut params = case_rng(6, case);
+        let small = params.range(1_000u64..50_000);
+        let extra = params.range(1u64..10_000_000);
+        let slack = 0.1 + params.unit() * 49.9;
+        let floor_ms = params.range(1u64..100);
         let model = DeadlineModel::Slack {
             slack,
             reference_gbps: 1.0,
@@ -169,79 +224,101 @@ proptest! {
         let floor = SimDuration::from_millis(floor_ms);
         let d_small = model.deadline_for(small).unwrap();
         let d_large = model.deadline_for(small + extra).unwrap();
-        prop_assert!(d_small >= floor);
-        prop_assert!(d_large >= d_small);
+        assert!(d_small >= floor);
+        assert!(d_large >= d_small);
         // None and Fixed behave as documented regardless of size.
-        prop_assert_eq!(DeadlineModel::None.deadline_for(small), None);
-        prop_assert_eq!(
+        assert_eq!(DeadlineModel::None.deadline_for(small), None);
+        assert_eq!(
             DeadlineModel::Fixed(floor).deadline_for(small + extra),
             Some(floor)
         );
     }
+}
 
-    /// Every duplicate-ACK policy yields an initial threshold of at least the
-    /// TCP default where it is meant to, and adaptive variants advertise an
-    /// upper bound no smaller than where they start.
-    #[test]
-    fn dupack_policies_are_sane(paths in 1u32..256, factor in 0.1f64..4.0) {
+/// Every duplicate-ACK policy yields an initial threshold of at least the
+/// TCP default where it is meant to, and adaptive variants advertise an
+/// upper bound no smaller than where they start.
+#[test]
+fn dupack_policies_are_sane() {
+    for case in 0..CASES {
+        let mut params = case_rng(7, case);
+        let paths = params.range(1u32..256);
+        let factor = 0.1 + params.unit() * 3.9;
         let aware = DupAckPolicy::TopologyAware { paths, factor };
-        prop_assert!(aware.initial_threshold() >= 3);
+        assert!(aware.initial_threshold() >= 3);
         let combined = DupAckPolicy::topology_adaptive(paths);
-        prop_assert!(combined.initial_threshold() >= 3);
+        assert!(combined.initial_threshold() >= 3);
         let (_step, max) = combined.adaptation().expect("combined policy adapts");
-        prop_assert!(max >= combined.initial_threshold());
-        prop_assert_eq!(DupAckPolicy::Fixed(0).initial_threshold(), 1);
+        assert!(max >= combined.initial_threshold());
+        assert_eq!(DupAckPolicy::Fixed(0).initial_threshold(), 1);
     }
+}
 
-    /// The incast workload builder produces `fan_in` senders per receiver, no
-    /// self-flows and one shared destination per group.
-    #[test]
-    fn incast_workload_structure(hosts in 6usize..120, fan_in in 2usize..16) {
-        prop_assume!(hosts > fan_in);
+/// The incast workload builder produces `fan_in` senders per receiver, no
+/// self-flows and one shared destination per group.
+#[test]
+fn incast_workload_structure() {
+    for case in 0..CASES {
+        let mut params = case_rng(8, case);
+        let hosts = params.range(6usize..120);
+        let fan_in = params.range(2usize..16);
+        if hosts <= fan_in {
+            continue;
+        }
         let addrs: Vec<Addr> = (0..hosts as u32).map(Addr).collect();
         let w = workload::incast_workload(&addrs, fan_in, 32_000, SimTime::from_millis(1));
-        prop_assert!(!w.flows.is_empty());
-        prop_assert_eq!(w.flows.len() % fan_in, 0);
+        assert!(!w.flows.is_empty());
+        assert_eq!(w.flows.len() % fan_in, 0);
         for group in w.flows.chunks(fan_in) {
             let dst = group[0].dst;
             for f in group {
-                prop_assert_eq!(f.dst, dst);
-                prop_assert_ne!(f.src, f.dst);
-                prop_assert_eq!(f.size, Some(32_000));
+                assert_eq!(f.dst, dst);
+                assert_ne!(f.src, f.dst);
+                assert_eq!(f.size, Some(32_000));
             }
         }
     }
+}
 
-    /// Hotspot matrices keep the sender count and never create self-flows, for
-    /// any hot-set size and fraction.
-    #[test]
-    fn hotspot_matrix_is_valid(
-        n in 4usize..150,
-        hot_hosts in 1usize..8,
-        fraction in 0u32..1000,
-        seed in 0u64..300,
-    ) {
+/// Hotspot matrices keep the sender count and never create self-flows, for
+/// any hot-set size and fraction.
+#[test]
+fn hotspot_matrix_is_valid() {
+    for case in 0..CASES {
+        let mut params = case_rng(9, case);
+        let n = params.range(4usize..150);
+        let hot_hosts = params.range(1usize..8);
+        let fraction = params.range(0u32..1000);
+        let seed = params.range(0u64..300);
         let hosts: Vec<Addr> = (0..n as u32).map(Addr).collect();
         let mut rng = SimRng::new(seed);
         let pairs = workload::assign_destinations(
-            TrafficMatrix::Hotspot { hot_hosts, hot_fraction_millis: fraction },
+            TrafficMatrix::Hotspot {
+                hot_hosts,
+                hot_fraction_millis: fraction,
+            },
             &hosts,
             &hosts,
             &mut rng,
         );
-        prop_assert_eq!(pairs.len(), n);
+        assert_eq!(pairs.len(), n);
         for (s, d) in pairs {
-            prop_assert_ne!(s, d);
-            prop_assert!(d.index() < n);
+            assert_ne!(s, d);
+            assert!(d.index() < n);
         }
     }
+}
 
-    /// Windowed goodput is non-negative and non-decreasing in the window end,
-    /// for an arbitrary (sorted) progress series.
-    #[test]
-    fn windowed_goodput_monotone_in_delivered_bytes(
-        mut points in prop::collection::vec((1u64..5_000u64, 1u64..1_000_000u64), 1..40),
-    ) {
+/// Windowed goodput is non-negative and non-decreasing in the window end,
+/// for an arbitrary (sorted) progress series.
+#[test]
+fn windowed_goodput_monotone_in_delivered_bytes() {
+    for case in 0..CASES {
+        let mut params = case_rng(10, case);
+        let len = params.range(1usize..40);
+        let mut points: Vec<(u64, u64)> = (0..len)
+            .map(|_| (params.range(1u64..5_000), params.range(1u64..1_000_000)))
+            .collect();
         points.sort();
         let mut metrics = metrics::FlowMetrics::new();
         let mut cumulative = 0u64;
@@ -256,30 +333,36 @@ proptest! {
             }]);
         }
         let end = SimTime::from_micros(last_t);
-        prop_assert_eq!(metrics.bytes_delivered_by(NFlowId(1), end), cumulative);
-        prop_assert_eq!(metrics.bytes_delivered_by(NFlowId(1), SimTime::ZERO), 0);
+        assert_eq!(metrics.bytes_delivered_by(NFlowId(1), end), cumulative);
+        assert_eq!(metrics.bytes_delivered_by(NFlowId(1), SimTime::ZERO), 0);
         // Bytes delivered by t never decrease as t grows.
         let mut prev = 0u64;
         for (i, _) in points.iter().enumerate() {
             let t = SimTime::from_micros((i as u64 + 1) * 100);
             let b = metrics.bytes_delivered_by(NFlowId(1), t);
-            prop_assert!(b >= prev);
+            assert!(b >= prev);
             prev = b;
         }
         let g = metrics.goodput_bps_windowed(|_| true, SimTime::ZERO, end);
-        prop_assert!(g >= 0.0);
+        assert!(g >= 0.0);
     }
+}
 
-    /// Stride and random matrices never map a sender to itself.
-    #[test]
-    fn stride_and_random_matrices_avoid_self(n in 3usize..100, k in 1usize..50, seed in 0u64..100) {
+/// Stride and random matrices never map a sender to itself.
+#[test]
+fn stride_and_random_matrices_avoid_self() {
+    for case in 0..CASES {
+        let mut params = case_rng(11, case);
+        let n = params.range(3usize..100);
+        let k = params.range(1usize..50);
+        let seed = params.range(0u64..100);
         let hosts: Vec<Addr> = (0..n as u32).map(Addr).collect();
         let mut rng = SimRng::new(seed);
         for matrix in [TrafficMatrix::Stride(k), TrafficMatrix::Random] {
             let pairs = workload::assign_destinations(matrix, &hosts, &hosts, &mut rng);
-            prop_assert_eq!(pairs.len(), n);
+            assert_eq!(pairs.len(), n);
             for (s, d) in pairs {
-                prop_assert_ne!(s, d);
+                assert_ne!(s, d);
             }
         }
     }

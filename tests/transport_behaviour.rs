@@ -111,7 +111,14 @@ fn mptcp_aggregates_bandwidth_across_parallel_paths() {
     });
     let bytes = 8_000_000;
     let tcp = mmptcp::run(one_flow(topo, Protocol::Tcp, 0, 1, bytes, 3));
-    let mptcp = mmptcp::run(one_flow(topo, Protocol::Mptcp { subflows: 4 }, 0, 1, bytes, 3));
+    let mptcp = mmptcp::run(one_flow(
+        topo,
+        Protocol::Mptcp { subflows: 4 },
+        0,
+        1,
+        bytes,
+        3,
+    ));
     assert!(tcp.all_short_completed && mptcp.all_short_completed);
     let t_tcp = tcp.short_fct_summary().mean;
     let t_mptcp = mptcp.short_fct_summary().mean;
@@ -126,15 +133,30 @@ fn mmptcp_short_flow_finishes_in_packet_scatter_phase() {
     let topo = TopologySpec::FatTree(FatTreeConfig::small());
     let r = mmptcp::run(one_flow(topo, Protocol::mmptcp_default(), 0, 12, 70_000, 4));
     assert!(r.all_short_completed);
-    assert_eq!(r.phase_switches(), 0, "70 KB must finish before the 210 KB switch threshold");
+    assert_eq!(
+        r.phase_switches(),
+        0,
+        "70 KB must finish before the 210 KB switch threshold"
+    );
 }
 
 #[test]
 fn mmptcp_long_flow_switches_to_mptcp_phase() {
     let topo = TopologySpec::FatTree(FatTreeConfig::small());
-    let r = mmptcp::run(one_flow(topo, Protocol::mmptcp_default(), 0, 12, 2_000_000, 4));
+    let r = mmptcp::run(one_flow(
+        topo,
+        Protocol::mmptcp_default(),
+        0,
+        12,
+        2_000_000,
+        4,
+    ));
     assert!(r.all_short_completed);
-    assert_eq!(r.phase_switches(), 1, "a 2 MB flow must switch to the MPTCP phase");
+    assert_eq!(
+        r.phase_switches(),
+        1,
+        "a 2 MB flow must switch to the MPTCP phase"
+    );
 }
 
 #[test]
@@ -205,7 +227,11 @@ fn packet_scatter_spreads_traffic_over_all_core_links() {
 
 #[test]
 fn incast_completes_under_every_protocol() {
-    for protocol in [Protocol::Tcp, Protocol::mptcp8(), Protocol::mmptcp_default()] {
+    for protocol in [
+        Protocol::Tcp,
+        Protocol::mptcp8(),
+        Protocol::mmptcp_default(),
+    ] {
         let cfg = ExperimentConfig {
             topology: TopologySpec::FatTree(FatTreeConfig::small()),
             workload: WorkloadSpec::Incast {
