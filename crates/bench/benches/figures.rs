@@ -7,8 +7,9 @@
 //! * `switching`, `load`, `hotspot`, `multihomed`, `coexistence`,
 //!   `dupack_ablation` — the extension experiments.
 //!
-//! The real harnesses (with full tables and paper-scale options) are the
-//! binaries in `src/bin/`; see EXPERIMENTS.md.
+//! The real harness (with full tables, paper-scale `--full` fidelity and
+//! golden-snapshot checking) is the `scenarios` registry binary in
+//! `src/bin/`; these benches only guard the wall-clock cost of the paths.
 
 use bench::harness::{black_box, Harness};
 use mmptcp::prelude::*;

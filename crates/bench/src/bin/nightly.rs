@@ -1,0 +1,122 @@
+//! The scheduled nightly benchmark job: run the pinned engine suite, compare
+//! medians against the last committed `BENCH_nightly.json` entry with a
+//! ±10 % threshold, append the fresh entry, and exit non-zero on regression.
+//!
+//! Usage: `cargo run --release -p bench --bin nightly [--samples N] [--dry-run]`
+//!
+//! `--dry-run` runs and compares but does not append to the ledger (useful
+//! locally). The git revision is taken from `GITHUB_SHA` when present.
+
+use bench::suite::{
+    compare_to_baseline, last_baseline, ledger_line, run_nightly_suite, Verdict,
+    REGRESSION_THRESHOLD,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn ledger_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_nightly.json")
+}
+
+fn main() -> ExitCode {
+    let mut samples = 7usize;
+    let mut dry_run = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => samples = args.next().and_then(|v| v.parse().ok()).unwrap_or(samples),
+            "--dry-run" => dry_run = true,
+            other => {
+                eprintln!("usage: nightly [--samples N] [--dry-run] (got '{other}')");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // BENCH_SAMPLES always wins inside `Harness::group`; mirror that here so
+    // the ledger records the sample count the medians were actually measured
+    // under, even when --samples was also passed.
+    if let Some(env_samples) = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        samples = env_samples.max(1);
+    }
+
+    let fresh = run_nightly_suite(samples);
+
+    let path = ledger_path();
+    let ledger = std::fs::read_to_string(&path).unwrap_or_default();
+    let baseline = last_baseline(&ledger);
+
+    let mut regressed = Vec::new();
+    let mut missing = Vec::new();
+    match &baseline {
+        None => println!("\nno previous nightly entry — establishing the baseline"),
+        Some(baseline) => {
+            println!(
+                "\nvs previous entry (threshold ±{:.0} %):",
+                REGRESSION_THRESHOLD * 100.0
+            );
+            for (name, verdict) in compare_to_baseline(baseline, &fresh, REGRESSION_THRESHOLD) {
+                match verdict {
+                    Verdict::New => println!("  NEW        {name}"),
+                    Verdict::Missing => {
+                        println!("  MISSING    {name} (in baseline, not in this run)");
+                        missing.push(name);
+                    }
+                    Verdict::Ok(r) => println!("  ok         {name} ({:+.1} %)", (r - 1.0) * 100.0),
+                    Verdict::Improved(r) => {
+                        println!("  IMPROVED   {name} ({:+.1} %)", (r - 1.0) * 100.0)
+                    }
+                    Verdict::Regressed(r) => {
+                        println!("  REGRESSED  {name} ({:+.1} %)", (r - 1.0) * 100.0);
+                        regressed.push(name);
+                    }
+                }
+            }
+        }
+    }
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let git = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
+    let line = ledger_line(unix_secs, &git, samples, &fresh);
+    if dry_run {
+        println!("\n--dry-run: not appending\n{line}");
+    } else {
+        let mut contents = ledger;
+        if contents.is_empty() {
+            contents.push_str("{\"schema\":\"bench-nightly-v1\"}\n");
+        }
+        if !contents.ends_with('\n') {
+            contents.push('\n');
+        }
+        contents.push_str(&line);
+        contents.push('\n');
+        std::fs::write(&path, contents).expect("write BENCH_nightly.json");
+        println!("\nappended to {}", path.display());
+    }
+
+    if !missing.is_empty() {
+        eprintln!(
+            "benchmarks present in the baseline did not run: {} — a partial run \
+             (e.g. under BENCH_FILTER) must not pass the gate",
+            missing.join(", ")
+        );
+    }
+    if !regressed.is_empty() {
+        eprintln!(
+            "nightly regression (> {:.0} % slower): {}",
+            REGRESSION_THRESHOLD * 100.0,
+            regressed.join(", ")
+        );
+    }
+    if regressed.is_empty() && missing.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

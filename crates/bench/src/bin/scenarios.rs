@@ -1,0 +1,276 @@
+//! The scenario runner: list, run, and regression-check the canonical
+//! experiment catalog (`mmptcp::scenario`).
+//!
+//! This binary replaces the per-figure harness binaries (`fig1a`, `fig1bc`,
+//! `load_sweep`, `incast_sweep`, `hotspot`, `coexistence`) with one
+//! registry-driven entry point, and is the substrate of the CI `golden` job:
+//! every scenario's fast variant renders a canonical JSON metrics document
+//! that is compared byte-for-byte against the snapshot in `tests/golden/`.
+//!
+//! Usage:
+//!   scenarios list
+//!   scenarios run <name>... [--full | --paper] [--seed N] [--threads N] [--json]
+//!   scenarios check [<name>...] [--threads N]       # a.k.a. `scenarios --check`
+//!   scenarios bless [<name>...] [--threads N]       # a.k.a. `scenarios --bless`
+//!
+//! `--full` runs the 64-host benchmark scale the replaced binaries used by
+//! default; `--paper` the 512-server paper scale (their old `--full`).
+//! `--seed N` overrides every run's seed (run command only; golden snapshots
+//! are defined at the fast fidelity's pinned seed, so `check`/`bless` reject
+//! scale and seed flags).
+//!
+//! `check` compares against the golden snapshots and exits non-zero on any
+//! drift, writing a line diff per drifted scenario to `target/golden-diff/`
+//! (the artifact CI uploads). `bless` intentionally rewrites the snapshots,
+//! so every accepted metrics change is an explicit commit.
+
+use bench::{summary_headers, summary_row};
+use metrics::{report, Table};
+use mmptcp::scenario::{catalog, find, Fidelity, Scenario};
+use mmptcp::ExperimentConfig;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Repository-root-relative directory holding the golden snapshots.
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Where `check` writes drift diffs (uploaded as a CI artifact on failure).
+fn diff_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/golden-diff")
+}
+
+struct Options {
+    command: Command,
+    names: Vec<String>,
+    threads: usize,
+    fidelity: Fidelity,
+    fidelity_flag_seen: bool,
+    seed: Option<u64>,
+    json: bool,
+}
+
+enum Command {
+    List,
+    Run,
+    Check,
+    Bless,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios <list|run|check|bless> [<name>...] [--full | --paper] [--seed N] \
+         [--threads N] [--json]\n\
+         flags --check / --bless select the corresponding command directly; check/bless \
+         always run the pinned fast fidelity and reject --full/--paper/--seed"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        command: Command::List,
+        names: Vec::new(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        fidelity: Fidelity::Fast,
+        fidelity_flag_seen: false,
+        seed: None,
+        json: false,
+    };
+    let mut command = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "list" if command.is_none() => command = Some(Command::List),
+            "run" if command.is_none() => command = Some(Command::Run),
+            "check" if command.is_none() => command = Some(Command::Check),
+            "bless" if command.is_none() => command = Some(Command::Bless),
+            "--check" => command = Some(Command::Check),
+            "--bless" => command = Some(Command::Bless),
+            "--full" => {
+                opts.fidelity = Fidelity::Full;
+                opts.fidelity_flag_seen = true;
+            }
+            "--paper" => {
+                opts.fidelity = Fidelity::Paper;
+                opts.fidelity_flag_seen = true;
+            }
+            "--json" => opts.json = true,
+            "--seed" => {
+                let Some(v) = args.next() else { usage() };
+                opts.seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                let Some(v) = args.next() else { usage() };
+                opts.threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            name if !name.starts_with('-') => opts.names.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    opts.command = command.unwrap_or_else(|| usage());
+    // Golden snapshots are pinned at fast fidelity and seed: a check or
+    // bless at any other scale would silently compare apples to oranges.
+    if matches!(opts.command, Command::Check | Command::Bless)
+        && (opts.fidelity_flag_seen || opts.seed.is_some())
+    {
+        eprintln!("check/bless always run the pinned fast fidelity; drop --full/--paper/--seed");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Resolve requested names (or the default set) into scenarios.
+fn select(names: &[String], default_golden_only: bool) -> Vec<&'static Scenario> {
+    if names.is_empty() {
+        return catalog()
+            .iter()
+            .filter(|s| !default_golden_only || s.golden)
+            .collect();
+    }
+    names
+        .iter()
+        .map(|n| {
+            find(n).unwrap_or_else(|| {
+                eprintln!("unknown scenario '{n}'; `scenarios list` shows the catalog");
+                std::process::exit(2)
+            })
+        })
+        .collect()
+}
+
+fn cmd_list() -> ExitCode {
+    let mut table = Table::new("Scenario catalog", &["name", "golden", "description"]);
+    for s in catalog() {
+        table.add_row(vec![
+            s.name.to_string(),
+            if s.golden { "yes" } else { "no" }.to_string(),
+            s.description.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} scenarios. `scenarios run <name>` executes one (--full: 64-host benchmark scale, \
+         --paper: 512-server paper scale, --seed N overrides the seed);",
+        catalog().len()
+    );
+    println!("`scenarios check` verifies golden snapshots; `scenarios bless` rewrites them.");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    let fidelity = opts.fidelity;
+    for s in select(&opts.names, false) {
+        let run = match opts.seed {
+            None => s.run(fidelity, opts.threads),
+            Some(seed) => {
+                let configs: Vec<(String, ExperimentConfig)> = s
+                    .configs(fidelity)
+                    .into_iter()
+                    .map(|(label, mut cfg)| {
+                        cfg.seed = seed;
+                        (label, cfg)
+                    })
+                    .collect();
+                let results = mmptcp::Driver::with_threads(opts.threads).run_labelled(configs);
+                let report = mmptcp::scenario::report(s.name, fidelity, &results);
+                mmptcp::ScenarioRun { results, report }
+            }
+        };
+        if opts.json {
+            print!("{}", run.report.to_json());
+            continue;
+        }
+        let mut table = Table::new(
+            format!("{} [{}]: {}", s.name, fidelity.label(), s.description),
+            &summary_headers(),
+        );
+        for (label, r) in &run.results {
+            table.add_row(summary_row(label, r));
+        }
+        println!("{}", table.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn golden_path(s: &Scenario) -> PathBuf {
+    golden_dir().join(format!("{}.json", s.name))
+}
+
+fn cmd_bless(opts: &Options) -> ExitCode {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for s in select(&opts.names, true) {
+        let run = s.run(Fidelity::Fast, opts.threads);
+        let path = golden_path(s);
+        std::fs::write(&path, run.report.to_json()).expect("write golden snapshot");
+        println!("blessed {}", path.display());
+    }
+    println!("snapshots rewritten; commit the changes to make them the new baseline");
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(opts: &Options) -> ExitCode {
+    let mut drifted = Vec::new();
+    let mut missing = Vec::new();
+    let diffs = diff_dir();
+    for s in select(&opts.names, true) {
+        let path = golden_path(s);
+        let Ok(expected) = std::fs::read_to_string(&path) else {
+            eprintln!("MISSING  {} (no {})", s.name, path.display());
+            missing.push(s.name);
+            continue;
+        };
+        let run = s.run(Fidelity::Fast, opts.threads);
+        let actual = run.report.to_json();
+        match report::diff(&expected, &actual) {
+            None => println!("OK       {}", s.name),
+            Some(d) => {
+                eprintln!("DRIFT    {}", s.name);
+                std::fs::create_dir_all(&diffs).expect("create diff dir");
+                let diff_path = diffs.join(format!("{}.diff", s.name));
+                let body = format!(
+                    "golden-metrics drift in scenario '{}' (expected {} vs actual):\n{}",
+                    s.name,
+                    path.display(),
+                    d
+                );
+                std::fs::write(&diff_path, &body).expect("write diff");
+                eprintln!("{body}");
+                eprintln!("diff written to {}", diff_path.display());
+                drifted.push(s.name);
+            }
+        }
+    }
+    if drifted.is_empty() && missing.is_empty() {
+        println!("golden check passed");
+        return ExitCode::SUCCESS;
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "missing snapshots: {} — run `scenarios bless {}` and commit the result",
+            missing.join(", "),
+            missing.join(" ")
+        );
+    }
+    if !drifted.is_empty() {
+        eprintln!(
+            "metrics drift in: {} — if intentional, rerun with `scenarios bless` and commit",
+            drifted.join(", ")
+        );
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    match opts.command {
+        Command::List => cmd_list(),
+        Command::Run => cmd_run(&opts),
+        Command::Check => cmd_check(&opts),
+        Command::Bless => cmd_bless(&opts),
+    }
+}

@@ -31,9 +31,16 @@ impl Measurement {
         self.samples[0]
     }
 
-    /// Median sample.
+    /// Median sample (linear interpolation for even sample counts, matching
+    /// `metrics::percentile` — a truncating `samples[len / 2]` systematically
+    /// over-reports the median of two-sample runs).
     pub fn median(&self) -> Duration {
-        self.samples[self.samples.len() / 2]
+        let n = self.samples.len();
+        if n % 2 == 1 {
+            self.samples[n / 2]
+        } else {
+            (self.samples[n / 2 - 1] + self.samples[n / 2]) / 2
+        }
     }
 
     /// Slowest sample.
@@ -159,6 +166,15 @@ mod tests {
         assert_eq!(m.samples.len(), 5);
         assert!(m.min() <= m.median() && m.median() <= m.max());
         assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn even_sample_median_interpolates() {
+        let m = Measurement {
+            name: "even".into(),
+            samples: vec![Duration::from_micros(10), Duration::from_micros(30)],
+        };
+        assert_eq!(m.median(), Duration::from_micros(20));
     }
 
     #[test]

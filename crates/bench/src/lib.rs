@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod suite;
 
 use mmptcp::prelude::*;
 use mmptcp::ExperimentResults;

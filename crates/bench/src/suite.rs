@@ -1,0 +1,252 @@
+//! The nightly engine-benchmark suite and its regression ledger.
+//!
+//! The scheduled nightly CI job runs a pinned set of engine micro-benchmarks
+//! (a subset of `benches/engine.rs` with stable names), appends one JSON-lines
+//! entry to `BENCH_nightly.json` at the repository root, and fails if any
+//! benchmark's median regressed by more than [`REGRESSION_THRESHOLD`]
+//! relative to the previous committed entry. The ledger format is one JSON
+//! object per line so appending never rewrites history:
+//!
+//! ```text
+//! {"schema":"bench-nightly-v1"}
+//! {"unix_secs":1753850000,"git":"abc123","samples":7,"results":{"calendar_wheel_100k_churn":1234567, ...}}
+//! ```
+//!
+//! Parsing is hand-rolled (the workspace `serde` is a no-op shim): entries
+//! are flat `"name":integer` maps inside a `"results"` object, nothing more.
+
+use crate::harness::{black_box, Harness};
+use mmptcp::prelude::*;
+use netsim::event::{Event, EventQueue};
+use netsim::SimRng;
+use topology::fattree;
+
+/// Relative median slow-down that fails the nightly job (+10 %).
+pub const REGRESSION_THRESHOLD: f64 = 0.10;
+
+/// Run the pinned nightly suite; returns `(benchmark name, median ns)` in a
+/// stable order. `samples` is the measured-sample count per benchmark
+/// (`BENCH_SAMPLES` still overrides, as everywhere in the harness).
+pub fn run_nightly_suite(samples: usize) -> Vec<(String, u128)> {
+    let mut h = Harness::group("nightly", samples);
+
+    let times: Vec<netsim::SimTime> = {
+        let mut rng = SimRng::new(0xCA1E);
+        (0..100_000)
+            .map(|_| {
+                let ns = if rng.chance(0.9) {
+                    rng.range(0u64..5_000_000)
+                } else {
+                    rng.range(0u64..2_000_000_000)
+                };
+                netsim::SimTime::from_nanos(ns)
+            })
+            .collect()
+    };
+    h.bench("calendar_wheel_100k_fill_drain", || {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(
+                t,
+                Event::FlowStart {
+                    node: netsim::NodeId(0),
+                    flow: netsim::FlowId(i as u64),
+                },
+            );
+        }
+        let mut count = 0u64;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        black_box(count)
+    });
+
+    h.bench("fattree_build_k8_4to1_512_hosts", || {
+        black_box(fattree::build(FatTreeConfig::paper()).host_count())
+    });
+
+    let single_flow = |protocol| ExperimentConfig {
+        topology: TopologySpec::Parallel(ParallelPathConfig::default()),
+        workload: WorkloadSpec::Custom(vec![FlowSpec::new(
+            0,
+            Addr(0),
+            Addr(1),
+            Some(70_000),
+            SimTime::from_millis(1),
+            FlowClass::Short,
+        )]),
+        protocol,
+        ..ExperimentConfig::default()
+    };
+    h.bench("end_to_end_70KB_tcp", || {
+        black_box(
+            mmptcp::run(single_flow(Protocol::Tcp))
+                .short_fct_summary()
+                .mean,
+        )
+    });
+    h.bench("end_to_end_70KB_mmptcp", || {
+        black_box(
+            mmptcp::run(single_flow(Protocol::mmptcp_default()))
+                .short_fct_summary()
+                .mean,
+        )
+    });
+
+    h.bench("small_fattree_paper_workload_mmptcp", || {
+        black_box(
+            mmptcp::run(ExperimentConfig::small_test(Protocol::mmptcp_default(), 7))
+                .short_fct_summary()
+                .count,
+        )
+    });
+
+    h.results()
+        .iter()
+        .map(|m| (m.name.clone(), m.median().as_nanos()))
+        .collect()
+}
+
+/// Render one ledger entry as a single JSON line.
+pub fn ledger_line(
+    unix_secs: u64,
+    git: &str,
+    samples: usize,
+    results: &[(String, u128)],
+) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, ns)| format!("\"{}\":{}", metrics::report::json_escape(name), ns))
+        .collect();
+    format!(
+        "{{\"unix_secs\":{unix_secs},\"git\":\"{}\",\"samples\":{samples},\"results\":{{{}}}}}",
+        metrics::report::json_escape(git),
+        body.join(",")
+    )
+}
+
+/// Extract the `"results"` map from a ledger line, if it has one. Lines
+/// without a results object (the schema header, blanks) yield `None`.
+pub fn parse_ledger_results(line: &str) -> Option<Vec<(String, u128)>> {
+    let start = line.find("\"results\":{")? + "\"results\":{".len();
+    let rest = &line[start..];
+    let end = rest.find('}')?;
+    let body = &rest[..end];
+    let mut out = Vec::new();
+    for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
+        let (name, value) = pair.split_once(':')?;
+        let name = name.trim().trim_matches('"').to_string();
+        let value: u128 = value.trim().parse().ok()?;
+        out.push((name, value));
+    }
+    Some(out)
+}
+
+/// The most recent baseline (last line with a results map) in ledger text.
+pub fn last_baseline(ledger: &str) -> Option<Vec<(String, u128)>> {
+    ledger.lines().rev().find_map(parse_ledger_results)
+}
+
+/// One benchmark's nightly verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// No previous measurement for this name.
+    New,
+    /// In the baseline but absent from the fresh run (e.g. a `BENCH_FILTER`
+    /// leak or a renamed benchmark). Treated as a failure so a partial run
+    /// can never silently become the committed baseline.
+    Missing,
+    /// Within the threshold of the baseline (`ratio` = new/old medians).
+    Ok(f64),
+    /// Slower than baseline by more than the threshold.
+    Regressed(f64),
+    /// Faster than baseline by more than the threshold (informational).
+    Improved(f64),
+}
+
+/// Compare a fresh run against a baseline with the ±threshold rule. Covers
+/// the union of both name sets: fresh-only entries are `New`, baseline-only
+/// entries are `Missing`.
+pub fn compare_to_baseline(
+    baseline: &[(String, u128)],
+    fresh: &[(String, u128)],
+    threshold: f64,
+) -> Vec<(String, Verdict)> {
+    let mut out: Vec<(String, Verdict)> = fresh
+        .iter()
+        .map(|(name, ns)| {
+            let verdict = match baseline.iter().find(|(b, _)| b == name) {
+                None => Verdict::New,
+                Some((_, old)) => {
+                    let ratio = *ns as f64 / (*old).max(1) as f64;
+                    if ratio > 1.0 + threshold {
+                        Verdict::Regressed(ratio)
+                    } else if ratio < 1.0 - threshold {
+                        Verdict::Improved(ratio)
+                    } else {
+                        Verdict::Ok(ratio)
+                    }
+                }
+            };
+            (name.clone(), verdict)
+        })
+        .collect();
+    for (name, _) in baseline {
+        if !fresh.iter().any(|(f, _)| f == name) {
+            out.push((name.clone(), Verdict::Missing));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> Vec<(String, u128)> {
+        vec![("a".into(), 1_000), ("b".into(), 2_000)]
+    }
+
+    #[test]
+    fn ledger_line_round_trips_through_the_parser() {
+        let line = ledger_line(1_753_850_000, "abc123", 7, &results());
+        assert!(line.starts_with("{\"unix_secs\":1753850000,\"git\":\"abc123\""));
+        let parsed = parse_ledger_results(&line).expect("parse");
+        assert_eq!(parsed, results());
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_not_baselines() {
+        assert_eq!(
+            parse_ledger_results("{\"schema\":\"bench-nightly-v1\"}"),
+            None
+        );
+        assert_eq!(parse_ledger_results(""), None);
+        let ledger = format!(
+            "{{\"schema\":\"bench-nightly-v1\"}}\n{}\n{}\n",
+            ledger_line(1, "old", 7, &[("a".into(), 500)]),
+            ledger_line(2, "new", 7, &results()),
+        );
+        assert_eq!(last_baseline(&ledger), Some(results()));
+    }
+
+    #[test]
+    fn threshold_classification() {
+        let baseline = results();
+        let fresh = vec![
+            ("a".into(), 1_050), // +5 %: ok
+            ("b".into(), 2_500), // +25 %: regressed
+            ("c".into(), 9_999), // unknown: new
+        ];
+        let verdicts = compare_to_baseline(&baseline, &fresh, REGRESSION_THRESHOLD);
+        assert!(matches!(verdicts[0].1, Verdict::Ok(_)));
+        assert!(matches!(verdicts[1].1, Verdict::Regressed(r) if (r - 1.25).abs() < 1e-9));
+        assert_eq!(verdicts[2].1, Verdict::New);
+        // -25 %: improved.
+        let faster = vec![("a".into(), 750u128)];
+        let v = compare_to_baseline(&baseline, &faster, REGRESSION_THRESHOLD);
+        assert!(matches!(v[0].1, Verdict::Improved(_)));
+        // "b" dropped out of the fresh run: flagged, not silently skipped.
+        assert_eq!(v[1], ("b".to_string(), Verdict::Missing));
+    }
+}

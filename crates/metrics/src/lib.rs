@@ -9,6 +9,8 @@
 //! * [`netstats`] — per-layer (edge / aggregation / core) loss rates, link and
 //!   tier utilisation, long-flow goodput;
 //! * [`stats`] — summaries, percentiles and histograms;
+//! * [`report`] — canonical, deterministic JSON metrics documents (the
+//!   golden-snapshot contract of the scenario registry);
 //! * [`table`] — the plain-text tables the benchmark harnesses print.
 
 #![warn(missing_docs)]
@@ -16,6 +18,7 @@
 
 pub mod fct;
 pub mod netstats;
+pub mod report;
 pub mod stats;
 pub mod table;
 
@@ -23,5 +26,6 @@ pub use fct::{FlowMetrics, FlowRecord};
 pub use netstats::{
     loss_report, overall_utilisation, tier_utilisation, LayerLoss, LossReport, UtilisationReport,
 };
+pub use report::{FctDoc, RunReport, ScenarioReport, TierCounts};
 pub use stats::{percentile, percentile_sorted, Histogram, Summary};
 pub use table::{f2, f4, pct, Table};

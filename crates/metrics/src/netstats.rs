@@ -17,6 +17,8 @@ pub struct LayerLoss {
     pub offered: u64,
     /// Packets dropped at those queues.
     pub dropped: u64,
+    /// Packets ECN-marked (Congestion Experienced) at those queues.
+    pub marked: u64,
 }
 
 impl LayerLoss {
@@ -50,6 +52,11 @@ impl LossReport {
         self.edge.dropped + self.aggregation.dropped + self.core.dropped + self.host.dropped
     }
 
+    /// Total ECN marks anywhere.
+    pub fn total_marked(&self) -> u64 {
+        self.edge.marked + self.aggregation.marked + self.core.marked + self.host.marked
+    }
+
     /// The layer entry for a switch layer.
     pub fn layer(&self, layer: SwitchLayer) -> LayerLoss {
         match layer {
@@ -77,6 +84,7 @@ pub fn loss_report(network: &Network) -> LossReport {
         };
         slot.offered += offered;
         slot.dropped += qs.dropped;
+        slot.marked += qs.ecn_marked;
     }
     report
 }

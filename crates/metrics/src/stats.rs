@@ -158,6 +158,38 @@ mod tests {
     #[test]
     fn single_sample_percentile() {
         assert_eq!(percentile(&[42.0], 99.0), 42.0);
+        // Every percentile of a single sample is that sample.
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+    }
+
+    #[test]
+    fn two_sample_percentiles_interpolate_not_truncate() {
+        // The index-truncating failure mode: p99 of a small sample collapsing
+        // to max (or, with floor(rank) indexing, to min). With linear
+        // interpolation over the (n-1)-rank basis, p99 of [10, 20] must be
+        // strictly between the samples: 10*0.01 + 20*0.99 = 19.9.
+        let v = [10.0, 20.0];
+        assert!((percentile(&v, 99.0) - 19.9).abs() < 1e-9);
+        assert!(percentile(&v, 99.0) < v[1], "p99 must not collapse to max");
+        assert!((percentile(&v, 50.0) - 15.0).abs() < 1e-9);
+        assert!((percentile(&v, 95.0) - 19.5).abs() < 1e-9);
+        let s = Summary::of(&v);
+        assert!((s.median - 15.0).abs() < 1e-9);
+        assert!((s.p99 - 19.9).abs() < 1e-9);
+        assert_eq!(s.max, 20.0);
+    }
+
+    #[test]
+    fn hundred_sample_percentiles_interpolate() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        // rank(p99) = 0.99 * 99 = 98.01 -> 99 * 0.99 + 100 * 0.01 = 99.01.
+        assert!((percentile(&v, 99.0) - 99.01).abs() < 1e-9);
+        assert!((percentile(&v, 95.0) - 95.05).abs() < 1e-9);
+        let s = Summary::of(&v);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+        assert!(s.p99 < s.max);
     }
 
     #[test]

@@ -43,11 +43,13 @@ pub mod config;
 pub mod driver;
 pub mod experiment;
 pub mod results;
+pub mod scenario;
 
 pub use config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
 pub use driver::{Driver, ExperimentSweep};
 pub use experiment::run;
 pub use results::{ExperimentResults, RunSummary};
+pub use scenario::{Fidelity, Scenario, ScenarioRun};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use metrics;
@@ -62,9 +64,12 @@ pub mod prelude {
     pub use crate::driver::{Driver, ExperimentSweep};
     pub use crate::experiment::run;
     pub use crate::results::{ExperimentResults, RunSummary};
+    pub use crate::scenario::{Fidelity, Scenario, ScenarioRun};
     pub use metrics::{Summary, Table};
     pub use netsim::{Addr, FlowId, SimDuration, SimTime};
-    pub use topology::{DumbbellConfig, FatTreeConfig, ParallelPathConfig, Vl2Config};
+    pub use topology::{
+        DumbbellConfig, FatTreeConfig, LinkFailureSpec, ParallelPathConfig, Vl2Config,
+    };
     pub use transport::{DupAckPolicy, MmptcpPhase, SwitchStrategy, TransportConfig};
     pub use workload::{
         ArrivalProcess, DeadlineModel, FlowClass, FlowSizeModel, FlowSpec, PaperWorkloadConfig,

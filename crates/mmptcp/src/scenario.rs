@@ -1,0 +1,636 @@
+//! The scenario registry: every canonical experiment as a named, data-driven
+//! spec instead of a copy-pasted binary.
+//!
+//! A [`Scenario`] expands to a deterministic, labelled list of
+//! [`ExperimentConfig`]s at one of three fidelities — [`Fidelity::Fast`]
+//! (the CI / golden-snapshot scale, seconds per scenario), [`Fidelity::Full`]
+//! (the 64-host benchmark scale the replaced binaries ran by default) or
+//! [`Fidelity::Paper`] (their old `--full` 512-server scale). Running a
+//! scenario fans the configs across the parallel [`Driver`] and distils each
+//! run into a canonical [`metrics::report::ScenarioReport`] JSON document;
+//! `tests/golden/` pins those documents and the `scenarios` binary (crate
+//! `bench`) checks them in CI, so any behavioural drift in the simulator,
+//! transports, workloads or topologies becomes an explicit, reviewable diff.
+//!
+//! The catalog covers the paper's figures (`fig1a`, `fig1bc`), the load and
+//! incast sweeps, empirical flow-size workloads (`web-search`,
+//! `data-mining`), traffic-matrix variations (`hotspot`), link-failure
+//! injection (`link-failure`) and protocol co-existence (`coexistence`).
+
+use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
+use crate::driver::Driver;
+use crate::results::ExperimentResults;
+use metrics::report::{FctDoc, RunReport, ScenarioReport, TierCounts};
+use netsim::{SimDuration, SimTime};
+use topology::{FatTreeConfig, LinkFailureSpec};
+use workload::{ArrivalProcess, FlowSizeModel, PaperWorkloadConfig, TrafficMatrix};
+
+/// The scale a scenario expands to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Small, seconds-per-scenario scale used by tests and the CI golden
+    /// check: 16-host FatTree, few flows, one seed.
+    Fast,
+    /// The scale the replaced harness binaries ran by default: the 64-host,
+    /// 4:1 over-subscribed benchmark FatTree with 10 flows per short host —
+    /// the paper's contention regime at laptop-friendly cost.
+    Full,
+    /// The paper's actual evaluation scale (the binaries' old `--full`
+    /// flag): the 512-server, 4:1 over-subscribed k=8 FatTree.
+    Paper,
+}
+
+impl Fidelity {
+    /// Stable label used in reports and golden file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fidelity::Fast => "fast",
+            Fidelity::Full => "full",
+            Fidelity::Paper => "paper",
+        }
+    }
+}
+
+/// A named, data-driven experiment: topology + workload + transport +
+/// parameter sweep + seeds, expanded deterministically per fidelity.
+pub struct Scenario {
+    /// Registry name (also the golden snapshot file stem).
+    pub name: &'static str,
+    /// One-line description shown by `scenarios list`.
+    pub description: &'static str,
+    /// Whether the scenario's fast variant is part of the pinned golden
+    /// subset checked in CI.
+    pub golden: bool,
+    build: fn(Fidelity) -> Vec<(String, ExperimentConfig)>,
+}
+
+/// The outcome of executing one scenario.
+pub struct ScenarioRun {
+    /// Full per-run results, in config order.
+    pub results: Vec<(String, ExperimentResults)>,
+    /// The canonical metrics document distilled from `results`.
+    pub report: ScenarioReport,
+}
+
+impl Scenario {
+    /// Expand into labelled configurations (deterministic per fidelity).
+    pub fn configs(&self, fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+        (self.build)(fidelity)
+    }
+
+    /// Run every configuration on the parallel driver and build the report.
+    pub fn run(&self, fidelity: Fidelity, threads: usize) -> ScenarioRun {
+        let results = Driver::with_threads(threads).run_labelled(self.configs(fidelity));
+        let report = report(self.name, fidelity, &results);
+        ScenarioRun { results, report }
+    }
+}
+
+/// Distil labelled results into the canonical metrics document.
+pub fn report(
+    scenario: &str,
+    fidelity: Fidelity,
+    results: &[(String, ExperimentResults)],
+) -> ScenarioReport {
+    ScenarioReport {
+        scenario: scenario.to_string(),
+        fidelity: fidelity.label().to_string(),
+        runs: results
+            .iter()
+            .map(|(label, r)| run_report(label, r))
+            .collect(),
+    }
+}
+
+fn run_report(label: &str, r: &ExperimentResults) -> RunReport {
+    let s = r.short_fct_summary();
+    RunReport {
+        label: label.to_string(),
+        short_fct: FctDoc::from_summary(&s),
+        all_short_completed: r.all_short_completed,
+        short_flows_with_rto: r.short_flows_with_rto(),
+        rtos: r.metrics.total_rtos(|_| true),
+        long_goodput_gbps: r.long_goodput_bps() / 1e9,
+        drops: TierCounts {
+            edge: r.loss.edge.dropped,
+            aggregation: r.loss.aggregation.dropped,
+            core: r.loss.core.dropped,
+            host: r.loss.host.dropped,
+        },
+        ecn_marks: TierCounts {
+            edge: r.loss.edge.marked,
+            aggregation: r.loss.aggregation.marked,
+            core: r.loss.core.marked,
+            host: r.loss.host.marked,
+        },
+        phase_switches: r.phase_switches(),
+        core_utilisation: r.core_utilisation.mean,
+    }
+}
+
+/// The full scenario catalog, in stable display order.
+pub fn catalog() -> &'static [Scenario] {
+    static CATALOG: [Scenario; 9] = [
+        Scenario {
+            name: "fig1a",
+            description: "Figure 1(a): MPTCP short-flow FCT vs subflow count (1..9)",
+            golden: true,
+            build: fig1a,
+        },
+        Scenario {
+            name: "fig1bc",
+            description: "Figures 1(b)/(c): per-flow FCT, MPTCP-8 vs MMPTCP-8",
+            golden: true,
+            build: fig1bc,
+        },
+        Scenario {
+            name: "load-sweep",
+            description: "Short-flow FCT vs offered load (Poisson inter-arrival sweep)",
+            golden: true,
+            build: load_sweep,
+        },
+        Scenario {
+            name: "incast",
+            description: "TCP-incast fan-in sweep: N synchronised senders per receiver",
+            golden: true,
+            build: incast,
+        },
+        Scenario {
+            name: "web-search",
+            description: "Empirical web-search flow-size CDF (DCTCP paper) workload",
+            golden: true,
+            build: web_search,
+        },
+        Scenario {
+            name: "data-mining",
+            description: "Empirical data-mining flow-size CDF (VL2 paper) workload",
+            golden: true,
+            build: data_mining,
+        },
+        Scenario {
+            name: "hotspot",
+            description: "Permutation vs hotspot traffic matrix (25% of flows on 4 hot hosts)",
+            golden: true,
+            build: hotspot,
+        },
+        Scenario {
+            name: "link-failure",
+            description: "Aggregation-to-core uplink failures: 0 / 12.5% / 25% failed",
+            golden: true,
+            build: link_failure,
+        },
+        Scenario {
+            name: "coexistence",
+            description: "MMPTCP short flows sharing the fabric with TCP/MPTCP long flows",
+            golden: true,
+            build: coexistence,
+        },
+    ];
+    &CATALOG
+}
+
+/// Look a scenario up by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    catalog().iter().find(|s| s.name == name)
+}
+
+// --- Base configurations ------------------------------------------------
+
+/// The figure-faithful base the replaced harness binaries used by default:
+/// `ExperimentConfig::figure1` at benchmark scale, seed 1, 10 flows per
+/// short-flow host (`HarnessOptions::default()`).
+fn full_base(protocol: Protocol) -> ExperimentConfig {
+    ExperimentConfig::figure1(protocol, 1, false, 10)
+}
+
+/// CI-scale base: the `small_test` configuration plus the Figure-1 goodput
+/// horizon so long-flow goodput stays comparable across runs.
+fn fast_base(protocol: Protocol) -> ExperimentConfig {
+    ExperimentConfig {
+        goodput_horizon: Some(SimDuration::from_secs(1)),
+        ..ExperimentConfig::small_test(protocol, 1)
+    }
+}
+
+/// Paper-scale base: what the replaced binaries ran under their `--full`
+/// flag — the 512-server FatTree of the paper's evaluation.
+fn paper_base(protocol: Protocol) -> ExperimentConfig {
+    ExperimentConfig::figure1(protocol, 1, true, 10)
+}
+
+fn base(fidelity: Fidelity, protocol: Protocol) -> ExperimentConfig {
+    match fidelity {
+        Fidelity::Fast => fast_base(protocol),
+        Fidelity::Full => full_base(protocol),
+        Fidelity::Paper => paper_base(protocol),
+    }
+}
+
+fn with_paper_workload(
+    mut config: ExperimentConfig,
+    f: impl FnOnce(&mut PaperWorkloadConfig),
+) -> ExperimentConfig {
+    if let WorkloadSpec::Paper(p) = &mut config.workload {
+        f(p);
+    }
+    config
+}
+
+// --- Scenario builders --------------------------------------------------
+
+fn fig1a(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let subflows: &[usize] = match fidelity {
+        Fidelity::Fast => &[1, 4, 8],
+        _ => &[1, 2, 3, 4, 5, 6, 7, 8, 9],
+    };
+    subflows
+        .iter()
+        .map(|&n| {
+            (
+                format!("mptcp-{n}"),
+                base(fidelity, Protocol::Mptcp { subflows: n }),
+            )
+        })
+        .collect()
+}
+
+fn fig1bc(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    [
+        ("mptcp-8 (Figure 1b)", Protocol::mptcp8()),
+        ("mmptcp-8 (Figure 1c)", Protocol::mmptcp_default()),
+    ]
+    .into_iter()
+    .map(|(label, p)| (label.to_string(), base(fidelity, p)))
+    .collect()
+}
+
+fn load_sweep(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let (protocols, loads_ms): (&[Protocol], &[u64]) = match fidelity {
+        Fidelity::Fast => (&[Protocol::Tcp, Protocol::mmptcp_default()], &[40, 20]),
+        _ => (
+            &[
+                Protocol::Tcp,
+                Protocol::mptcp8(),
+                Protocol::mmptcp_default(),
+            ],
+            &[300, 150, 75, 40],
+        ),
+    };
+    let mut out = Vec::new();
+    for &p in protocols {
+        for &ms in loads_ms {
+            let cfg = with_paper_workload(base(fidelity, p), |w| {
+                w.arrivals = ArrivalProcess::Poisson {
+                    mean_interarrival: SimDuration::from_millis(ms),
+                };
+            });
+            out.push((format!("{} @ {ms} ms", p.name()), cfg));
+        }
+    }
+    out
+}
+
+fn incast(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let (protocols, fan_ins, bytes): (&[Protocol], &[usize], u64) = match fidelity {
+        Fidelity::Fast => (
+            &[Protocol::Tcp, Protocol::mmptcp_default()],
+            &[4, 8],
+            32_000,
+        ),
+        _ => (
+            &[
+                Protocol::Tcp,
+                Protocol::Dctcp,
+                Protocol::mptcp8(),
+                Protocol::PacketScatter,
+                Protocol::mmptcp_default(),
+            ],
+            &[4, 8, 16, 32],
+            64_000,
+        ),
+    };
+    let topology = match fidelity {
+        Fidelity::Fast => TopologySpec::FatTree(FatTreeConfig::small()),
+        Fidelity::Full => TopologySpec::FatTree(FatTreeConfig::benchmark()),
+        Fidelity::Paper => TopologySpec::FatTree(FatTreeConfig::paper()),
+    };
+    let mut out = Vec::new();
+    for &fan_in in fan_ins {
+        for &p in protocols {
+            out.push((
+                format!("{} | {fan_in}", p.name()),
+                ExperimentConfig {
+                    topology,
+                    workload: WorkloadSpec::Incast {
+                        fan_in,
+                        bytes,
+                        start: SimTime::from_millis(1),
+                    },
+                    protocol: p,
+                    seed: 1,
+                    ..ExperimentConfig::default()
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn empirical(fidelity: Fidelity, size: FlowSizeModel) -> Vec<(String, ExperimentConfig)> {
+    let protocols: &[Protocol] = match fidelity {
+        Fidelity::Fast => &[Protocol::Tcp, Protocol::mmptcp_default()],
+        _ => &[
+            Protocol::Tcp,
+            Protocol::mptcp8(),
+            Protocol::mmptcp_default(),
+        ],
+    };
+    protocols
+        .iter()
+        .map(|&p| {
+            let cfg = with_paper_workload(base(fidelity, p), |w| {
+                w.short_size = size;
+            });
+            (p.name(), cfg)
+        })
+        .collect()
+}
+
+fn web_search(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    empirical(fidelity, FlowSizeModel::WebSearch)
+}
+
+fn data_mining(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    empirical(fidelity, FlowSizeModel::DataMining)
+}
+
+fn hotspot(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let protocols: &[Protocol] = match fidelity {
+        Fidelity::Fast => &[Protocol::Tcp, Protocol::mmptcp_default()],
+        _ => &[
+            Protocol::mptcp8(),
+            Protocol::mmptcp_default(),
+            Protocol::Tcp,
+        ],
+    };
+    let mut out = Vec::new();
+    for &p in protocols {
+        out.push((format!("{} / permutation", p.name()), base(fidelity, p)));
+        out.push((
+            format!("{} / hotspot", p.name()),
+            with_paper_workload(base(fidelity, p), |w| {
+                w.matrix = TrafficMatrix::Hotspot {
+                    hot_hosts: 4,
+                    hot_fraction_millis: 250,
+                };
+            }),
+        ));
+    }
+    out
+}
+
+fn link_failure(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let protocols: &[Protocol] = match fidelity {
+        Fidelity::Fast => &[Protocol::mmptcp_default()],
+        _ => &[Protocol::mptcp8(), Protocol::mmptcp_default()],
+    };
+    let mut out = Vec::new();
+    for &p in protocols {
+        for &millis in &[0u32, 125, 250] {
+            let mut cfg = base(fidelity, p);
+            if let TopologySpec::FatTree(ft) = &mut cfg.topology {
+                ft.failures = LinkFailureSpec::agg_core(millis, 42);
+            }
+            out.push((format!("{} / failed {millis}/1000", p.name()), cfg));
+        }
+    }
+    out
+}
+
+fn coexistence(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let combos: &[(&str, Protocol, Option<Protocol>)] = &[
+        (
+            "short mmptcp / long mmptcp",
+            Protocol::mmptcp_default(),
+            None,
+        ),
+        (
+            "short mmptcp / long mptcp-8",
+            Protocol::mmptcp_default(),
+            Some(Protocol::mptcp8()),
+        ),
+        (
+            "short mmptcp / long tcp",
+            Protocol::mmptcp_default(),
+            Some(Protocol::Tcp),
+        ),
+        (
+            "short mptcp-8 / long tcp",
+            Protocol::mptcp8(),
+            Some(Protocol::Tcp),
+        ),
+    ];
+    combos
+        .iter()
+        .map(|&(label, short, long)| {
+            let mut cfg = base(fidelity, short);
+            cfg.long_protocol = long;
+            (label.to_string(), cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_plentiful() {
+        let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
+        assert!(names.len() >= 8, "catalog must have >= 8 scenarios");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        assert!(find("fig1a").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_scenario_expands_deterministically_at_every_fidelity() {
+        for s in catalog() {
+            for fidelity in [Fidelity::Fast, Fidelity::Full, Fidelity::Paper] {
+                let a = s.configs(fidelity);
+                let b = s.configs(fidelity);
+                assert!(!a.is_empty(), "{} has no configs", s.name);
+                assert_eq!(a, b, "{} expansion must be deterministic", s.name);
+                let mut labels: Vec<&String> = a.iter().map(|(l, _)| l).collect();
+                labels.sort_unstable();
+                labels.dedup();
+                assert_eq!(labels.len(), a.len(), "{} labels must be unique", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_configs_stay_at_test_scale() {
+        for s in catalog() {
+            for (label, cfg) in s.configs(Fidelity::Fast) {
+                let hosts = cfg.topology.build().host_count();
+                assert!(
+                    hosts <= 16,
+                    "{}/{label} fast config uses {hosts} hosts",
+                    s.name
+                );
+            }
+        }
+    }
+
+    /// Differential guard for the deleted `fig1a` binary: the registry's full
+    /// expansion must be exactly the configuration list the binary ran
+    /// (`ExperimentConfig::figure1` per subflow count with the default
+    /// harness options), so registry runs reproduce the old numbers
+    /// run-for-run (the engine is deterministic per config+seed).
+    #[test]
+    fn fig1a_full_matches_the_replaced_binary() {
+        let registry = find("fig1a").unwrap().configs(Fidelity::Full);
+        let legacy: Vec<ExperimentConfig> = (1..=9)
+            .map(|n| ExperimentConfig::figure1(Protocol::Mptcp { subflows: n }, 1, false, 10))
+            .collect();
+        assert_eq!(registry.len(), legacy.len());
+        for ((label, cfg), old) in registry.iter().zip(&legacy) {
+            assert_eq!(cfg, old, "config drift for {label}");
+        }
+    }
+
+    /// Paper fidelity reproduces the deleted binaries' `--full` flag: the
+    /// 512-server evaluation topology of the paper.
+    #[test]
+    fn paper_fidelity_uses_the_512_server_topology() {
+        for (label, cfg) in find("fig1a").unwrap().configs(Fidelity::Paper) {
+            assert_eq!(
+                cfg,
+                ExperimentConfig::figure1(cfg.protocol, 1, true, 10),
+                "{label}"
+            );
+            let TopologySpec::FatTree(ft) = cfg.topology else {
+                panic!("{label}: expected a FatTree");
+            };
+            assert_eq!(ft.total_hosts(), 512, "{label}");
+        }
+        for (label, cfg) in find("incast").unwrap().configs(Fidelity::Paper) {
+            let TopologySpec::FatTree(ft) = cfg.topology else {
+                panic!("{label}: expected a FatTree");
+            };
+            assert_eq!(ft.total_hosts(), 512, "{label}");
+        }
+    }
+
+    /// Differential guard for the deleted `fig1bc` binary.
+    #[test]
+    fn fig1bc_full_matches_the_replaced_binary() {
+        let registry = find("fig1bc").unwrap().configs(Fidelity::Full);
+        let legacy = [
+            ExperimentConfig::figure1(Protocol::mptcp8(), 1, false, 10),
+            ExperimentConfig::figure1(Protocol::mmptcp_default(), 1, false, 10),
+        ];
+        assert_eq!(registry.len(), legacy.len());
+        for ((_, cfg), old) in registry.iter().zip(&legacy) {
+            assert_eq!(cfg, old);
+        }
+    }
+
+    /// Differential guards for the other replaced binaries (`load_sweep`,
+    /// `incast_sweep`, `hotspot`, `coexistence`): spot-check that the full
+    /// expansion reproduces the binaries' configuration grids.
+    #[test]
+    fn remaining_full_expansions_match_the_replaced_binaries() {
+        // load_sweep: 3 protocols x 4 loads, protocol-major, 300..40 ms.
+        let loads = find("load-sweep").unwrap().configs(Fidelity::Full);
+        assert_eq!(loads.len(), 12);
+        assert_eq!(loads[0].0, "tcp @ 300 ms");
+        let expected = with_paper_workload(full_base(Protocol::Tcp), |w| {
+            w.arrivals = ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_millis(300),
+            };
+        });
+        assert_eq!(loads[0].1, expected);
+
+        // incast_sweep: 4 fan-ins x 5 protocols, 64 KB per sender.
+        let incast = find("incast").unwrap().configs(Fidelity::Full);
+        assert_eq!(incast.len(), 20);
+        assert_eq!(incast[0].0, "tcp | 4");
+        match &incast[0].1.workload {
+            WorkloadSpec::Incast {
+                fan_in,
+                bytes,
+                start,
+            } => {
+                assert_eq!(*fan_in, 4);
+                assert_eq!(*bytes, 64_000);
+                assert_eq!(*start, SimTime::from_millis(1));
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
+
+        // hotspot: permutation baseline must be exactly the figure-1 config.
+        let hotspot = find("hotspot").unwrap().configs(Fidelity::Full);
+        assert_eq!(hotspot.len(), 6);
+        assert_eq!(hotspot[0].1, full_base(Protocol::mptcp8()));
+
+        // coexistence: 4 combos, long_protocol overrides as in the binary.
+        let coex = find("coexistence").unwrap().configs(Fidelity::Full);
+        assert_eq!(coex.len(), 4);
+        assert_eq!(coex[1].1.long_protocol, Some(Protocol::mptcp8()));
+        assert_eq!(coex[3].1.protocol, Protocol::mptcp8());
+        assert_eq!(coex[3].1.long_protocol, Some(Protocol::Tcp));
+    }
+
+    /// Registry-driven execution equals running the same configs by hand:
+    /// the registry adds no hidden state on top of the deterministic engine.
+    #[test]
+    fn registry_run_equals_direct_run() {
+        let scenario = find("fig1bc").unwrap();
+        let run = scenario.run(Fidelity::Fast, 2);
+        let direct = Driver::with_threads(1).run_labelled(scenario.configs(Fidelity::Fast));
+        assert_eq!(run.results.len(), direct.len());
+        for ((la, ra), (lb, rb)) in run.results.iter().zip(&direct) {
+            assert_eq!(la, lb);
+            assert_eq!(ra.short_fcts_ms(), rb.short_fcts_ms());
+            assert_eq!(ra.counters, rb.counters);
+        }
+        // And the report is itself reproducible.
+        let again = scenario.run(Fidelity::Fast, 3);
+        assert_eq!(run.report.to_json(), again.report.to_json());
+        assert_eq!(run.report.runs.len(), 2);
+    }
+
+    #[test]
+    fn link_failure_scenario_wires_the_failure_spec() {
+        for (label, cfg) in find("link-failure").unwrap().configs(Fidelity::Full) {
+            let TopologySpec::FatTree(ft) = cfg.topology else {
+                panic!("link-failure must use a FatTree");
+            };
+            if label.ends_with(" 0/1000") {
+                assert!(!ft.failures.is_active());
+            } else {
+                assert!(ft.failures.is_active(), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_scenarios_use_the_cdf_models() {
+        for (name, model) in [
+            ("web-search", FlowSizeModel::WebSearch),
+            ("data-mining", FlowSizeModel::DataMining),
+        ] {
+            for (label, cfg) in find(name).unwrap().configs(Fidelity::Fast) {
+                let WorkloadSpec::Paper(p) = cfg.workload else {
+                    panic!("{name}/{label} must use the paper workload");
+                };
+                assert_eq!(p.short_size, model, "{name}/{label}");
+            }
+        }
+    }
+}

@@ -131,6 +131,24 @@ impl Switch {
         Some(group[choice])
     }
 
+    /// Remove `link` from every next-hop group that has at least two members,
+    /// e.g. when the link has failed and traffic must spread over the
+    /// surviving equal-cost siblings. A group's last member is never removed
+    /// (that would blackhole every destination routed through it); the return
+    /// value is the number of groups the link was actually removed from.
+    pub fn remove_link(&mut self, link: LinkId) -> usize {
+        let mut removed = 0;
+        for group in &mut self.groups {
+            if group.len() > 1 {
+                if let Some(pos) = group.iter().position(|&l| l == link) {
+                    group.remove(pos);
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
     /// Forwarding counters.
     pub fn stats(&self) -> SwitchStats {
         self.stats
@@ -229,5 +247,22 @@ mod tests {
     fn empty_group_rejected() {
         let mut sw = Switch::new(NodeId(0), SwitchLayer::Core, 1, 0);
         sw.add_group(vec![]);
+    }
+
+    #[test]
+    fn remove_link_shrinks_groups_but_never_empties_them() {
+        let mut sw = switch_with_two_groups();
+        // LinkId(1) is in the four-member up group: removable.
+        assert_eq!(sw.remove_link(LinkId(1)), 1);
+        assert_eq!(sw.path_count(Addr(1)), 3);
+        // LinkId(7) is the sole member of the down group: protected.
+        assert_eq!(sw.remove_link(LinkId(7)), 0);
+        assert_eq!(sw.path_count(Addr(0)), 1);
+        // Removing an absent link is a no-op.
+        assert_eq!(sw.remove_link(LinkId(99)), 0);
+        // Forwarding never selects the removed link any more.
+        for port in 49152..49152 + 256 {
+            assert_ne!(sw.forward(&pkt(1, port)), Some(LinkId(1)));
+        }
     }
 }

@@ -20,8 +20,42 @@
 //! uplinks by 5-tuple hash, then down a deterministic path to the destination.
 
 use crate::built::{BuiltTopology, LinkTier, PathModel};
-use netsim::{Addr, LinkConfig, Network, NodeId, QueueConfig, SimDuration, SwitchLayer};
+use netsim::{Addr, LinkConfig, Network, NodeId, QueueConfig, SimDuration, SimRng, SwitchLayer};
 use serde::{Deserialize, Serialize};
+
+/// Deterministic link-failure injection applied after the routing tables are
+/// built.
+///
+/// Failures are modelled on the aggregation→core *uplink* direction only:
+/// each failed uplink is removed from its aggregation switch's ECMP up-group,
+/// so inter-pod traffic spreads over the surviving core uplinks (exactly what
+/// datacentre routing does after a failure converges), while the intact
+/// core→aggregation down direction keeps every destination reachable. This
+/// reduces path diversity and creates asymmetric core capacity — the failure
+/// regime multipath papers study — without ever blackholing a host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LinkFailureSpec {
+    /// Fraction (in thousandths, i.e. 250 = 25 %) of aggregation→core
+    /// uplinks to fail. 0 disables injection entirely.
+    pub agg_core_uplink_millis: u32,
+    /// Seed for the deterministic choice of which uplinks fail.
+    pub seed: u64,
+}
+
+impl LinkFailureSpec {
+    /// Fail `millis`/1000 of the aggregation→core uplinks, chosen by `seed`.
+    pub fn agg_core(millis: u32, seed: u64) -> Self {
+        LinkFailureSpec {
+            agg_core_uplink_millis: millis,
+            seed,
+        }
+    }
+
+    /// Whether this spec injects any failures at all.
+    pub fn is_active(&self) -> bool {
+        self.agg_core_uplink_millis > 0
+    }
+}
 
 /// Configuration of a FatTree build.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +74,8 @@ pub struct FatTreeConfig {
     pub link_delay: SimDuration,
     /// Output queue configuration applied to every port.
     pub queue: QueueConfig,
+    /// Link failures to inject after routing is built (defaults to none).
+    pub failures: LinkFailureSpec,
 }
 
 impl Default for FatTreeConfig {
@@ -55,6 +91,7 @@ impl Default for FatTreeConfig {
                 limit_bytes: None,
                 ecn_threshold_packets: None,
             },
+            failures: LinkFailureSpec::default(),
         }
     }
 }
@@ -268,12 +305,34 @@ pub fn build(config: FatTreeConfig) -> BuiltTopology {
         }
     }
 
+    // Link-failure injection: withdraw a deterministic subset of the
+    // aggregation→core uplinks from their ECMP up-groups (see
+    // [`LinkFailureSpec`] for the model and its reachability guarantee).
+    let mut failed_uplinks = 0usize;
+    if config.failures.is_active() {
+        let mut failure_rng = SimRng::new(0xFA11_0000 ^ config.failures.seed);
+        for pod in 0..k {
+            for a in 0..half {
+                for &up in &agg_up[pod][a] {
+                    if failure_rng.range(0..1000u32) < config.failures.agg_core_uplink_millis {
+                        failed_uplinks += net.switch_mut(aggs[pod][a]).remove_link(up);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut name = format!(
+        "fattree(k={}, {}:1, {} hosts)",
+        k, config.oversubscription, num_hosts
+    );
+    if failed_uplinks > 0 {
+        name = format!("{name} -{failed_uplinks} core uplinks");
+    }
+
     BuiltTopology {
         network: net,
-        name: format!(
-            "fattree(k={}, {}:1, {} hosts)",
-            k, config.oversubscription, num_hosts
-        ),
+        name,
         hosts,
         link_tiers: tiers,
         path_model: PathModel::FatTree { k, hosts_per_edge },
@@ -322,6 +381,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn link_failures_shrink_up_groups_but_keep_full_reachability() {
+        let cfg = FatTreeConfig {
+            failures: LinkFailureSpec::agg_core(400, 7),
+            ..FatTreeConfig::small()
+        };
+        let t = build(cfg);
+        assert!(
+            t.name.contains("core uplinks"),
+            "failures must show in the name: {}",
+            t.name
+        );
+        // Aggregate up-group capacity dropped below the healthy k/2 per agg.
+        let healthy = build(FatTreeConfig::small());
+        let up_members = |topo: &BuiltTopology| -> usize {
+            topo.network
+                .switches_at(SwitchLayer::Aggregation)
+                .iter()
+                .map(|&id| {
+                    let sw = topo.network.node(id).as_switch().unwrap();
+                    // Group 0 is the up-group (first group added).
+                    sw.groups()[0].len()
+                })
+                .sum()
+        };
+        assert!(up_members(&t) < up_members(&healthy));
+        // Every switch still routes every host.
+        for node in t.network.nodes() {
+            if let Node::Switch(sw) = node {
+                for h in 0..t.host_count() {
+                    assert!(sw.path_count(Addr(h as u32)) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_failures_are_deterministic_per_seed() {
+        let cfg = |seed| FatTreeConfig {
+            failures: LinkFailureSpec::agg_core(250, seed),
+            ..FatTreeConfig::small()
+        };
+        let a = build(cfg(1));
+        let b = build(cfg(1));
+        let c = build(cfg(2));
+        assert_eq!(a.name, b.name);
+        let groups = |topo: &BuiltTopology| -> Vec<Vec<netsim::LinkId>> {
+            topo.network
+                .switches_at(SwitchLayer::Aggregation)
+                .iter()
+                .map(|&id| topo.network.node(id).as_switch().unwrap().groups()[0].clone())
+                .collect()
+        };
+        assert_eq!(groups(&a), groups(&b), "same seed, same surviving links");
+        assert_ne!(
+            (a.name.clone(), groups(&a)),
+            (c.name.clone(), groups(&c)),
+            "different seed should fail a different subset"
+        );
+    }
+
+    #[test]
+    fn zero_failure_spec_is_inactive() {
+        assert!(!LinkFailureSpec::default().is_active());
+        assert!(LinkFailureSpec::agg_core(125, 3).is_active());
+        let t = build(FatTreeConfig::default());
+        assert!(!t.name.contains("core uplinks"));
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod vl2;
 pub use addressing::{FatTreeAddress, FatTreeAddressing};
 pub use built::{BuiltTopology, LinkTier, PathModel};
 pub use dumbbell::DumbbellConfig;
-pub use fattree::FatTreeConfig;
+pub use fattree::{FatTreeConfig, LinkFailureSpec};
 pub use parallel::ParallelPathConfig;
 pub use vl2::Vl2Config;

@@ -105,6 +105,123 @@ impl DeadlineModel {
     }
 }
 
+/// An empirical flow-size distribution given as a piecewise-linear CDF:
+/// `(bytes, cumulative probability)` knots, strictly increasing in both
+/// coordinates, starting at probability 0 and ending at 1. Samples are drawn
+/// by inverse-transform: one uniform variate is mapped through the inverse
+/// CDF with linear interpolation between knots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalCdf {
+    /// Distribution name (used in labels and reports).
+    pub name: &'static str,
+    /// `(bytes, cumulative_probability)` knots.
+    points: &'static [(u64, f64)],
+}
+
+/// The web-search flow-size distribution reported in the DCTCP paper
+/// (Alizadeh et al., SIGCOMM 2010): about half the flows are short queries
+/// under 20 KB, but most *bytes* come from the few multi-megabyte responses.
+pub static WEB_SEARCH: EmpiricalCdf = EmpiricalCdf {
+    name: "web-search",
+    points: &[
+        (6_000, 0.0),
+        (10_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_333_000, 0.80),
+        (3_333_000, 0.90),
+        (6_667_000, 0.97),
+        (20_000_000, 0.995),
+        (30_000_000, 1.0),
+    ],
+};
+
+/// The data-mining flow-size distribution reported for VL2-style clusters
+/// (Greenberg et al., SIGCOMM 2009): even more skewed than web-search —
+/// ~80 % of flows are under 10 KB while the top few percent reach 100 MB.
+pub static DATA_MINING: EmpiricalCdf = EmpiricalCdf {
+    name: "data-mining",
+    points: &[
+        (100, 0.0),
+        (180, 0.10),
+        (250, 0.20),
+        (560, 0.30),
+        (900, 0.40),
+        (1_100, 0.50),
+        (1_870, 0.60),
+        (3_160, 0.70),
+        (10_000, 0.80),
+        (400_000, 0.85),
+        (3_160_000, 0.90),
+        (10_000_000, 0.95),
+        (31_600_000, 0.98),
+        (100_000_000, 1.0),
+    ],
+};
+
+impl EmpiricalCdf {
+    /// Check the CDF invariants (strictly increasing in both coordinates,
+    /// probability spanning exactly [0, 1]). Called by tests and debug paths.
+    pub fn validate(&self) {
+        assert!(self.points.len() >= 2, "CDF needs at least two knots");
+        assert_eq!(self.points[0].1, 0.0, "first knot must be at p=0");
+        assert_eq!(
+            self.points[self.points.len() - 1].1,
+            1.0,
+            "last knot at p=1"
+        );
+        for w in self.points.windows(2) {
+            assert!(w[0].0 < w[1].0, "bytes must be strictly increasing");
+            assert!(w[0].1 < w[1].1, "probability must be strictly increasing");
+        }
+    }
+
+    /// Smallest possible sample.
+    pub fn min_bytes(&self) -> u64 {
+        self.points[0].0
+    }
+
+    /// Largest possible sample.
+    pub fn max_bytes(&self) -> u64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// The inverse CDF at probability `u` (clamped to [0, 1]), linearly
+    /// interpolated between knots.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        for &(bytes, p) in &self.points[1..] {
+            if u <= p {
+                let frac = (u - prev.1) / (p - prev.1);
+                let span = (bytes - prev.0) as f64;
+                return prev.0 + (span * frac).round() as u64;
+            }
+            prev = (bytes, p);
+        }
+        self.max_bytes()
+    }
+
+    /// Draw one sample by inverse-transform (consumes exactly one uniform
+    /// variate, so per-seed determinism is trivial to reason about).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        self.quantile(rng.unit())
+    }
+
+    /// Analytic mean of the piecewise-linear distribution: each segment
+    /// contributes its probability mass times the segment midpoint.
+    pub fn mean(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) * (w[0].0 + w[1].0) as f64 / 2.0)
+            .sum()
+    }
+}
+
 /// Flow size models for short flows.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FlowSizeModel {
@@ -117,15 +234,25 @@ pub enum FlowSizeModel {
         /// Largest flow size.
         max: u64,
     },
-    /// A heavy-tailed mix approximating the web-search workload of the DCTCP
-    /// paper: mostly small flows with a small fraction of multi-megabyte ones.
+    /// The empirical web-search distribution ([`WEB_SEARCH`]).
     WebSearch,
-    /// A heavy-tailed mix approximating the data-mining workload (even more
-    /// skewed: many tiny flows, rare very large ones).
+    /// The empirical data-mining distribution ([`DATA_MINING`]).
     DataMining,
+    /// Any other empirical CDF.
+    Empirical(&'static EmpiricalCdf),
 }
 
 impl FlowSizeModel {
+    /// The empirical CDF behind this model, if it has one.
+    pub fn cdf(&self) -> Option<&'static EmpiricalCdf> {
+        match self {
+            FlowSizeModel::WebSearch => Some(&WEB_SEARCH),
+            FlowSizeModel::DataMining => Some(&DATA_MINING),
+            FlowSizeModel::Empirical(cdf) => Some(cdf),
+            _ => None,
+        }
+    }
+
     /// Draw one flow size.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         match *self {
@@ -134,29 +261,9 @@ impl FlowSizeModel {
                 assert!(min <= max);
                 rng.range(min..=max)
             }
-            FlowSizeModel::WebSearch => {
-                // Piecewise-empirical approximation (bytes).
-                let u = rng.unit();
-                if u < 0.50 {
-                    rng.range(6_000..=20_000)
-                } else if u < 0.80 {
-                    rng.range(20_000..=100_000)
-                } else if u < 0.95 {
-                    rng.range(100_000..=1_000_000)
-                } else {
-                    rng.range(1_000_000..=30_000_000)
-                }
-            }
-            FlowSizeModel::DataMining => {
-                let u = rng.unit();
-                if u < 0.80 {
-                    rng.range(100..=10_000)
-                } else if u < 0.95 {
-                    rng.range(10_000..=1_000_000)
-                } else {
-                    rng.range(1_000_000..=100_000_000)
-                }
-            }
+            FlowSizeModel::WebSearch => WEB_SEARCH.sample(rng),
+            FlowSizeModel::DataMining => DATA_MINING.sample(rng),
+            FlowSizeModel::Empirical(cdf) => cdf.sample(rng),
         }
     }
 }
@@ -466,6 +573,43 @@ mod tests {
             let d = FlowSizeModel::DataMining.sample(&mut rng);
             assert!((100..=100_000_000).contains(&d));
         }
+    }
+
+    #[test]
+    fn empirical_cdfs_are_well_formed() {
+        WEB_SEARCH.validate();
+        DATA_MINING.validate();
+        assert_eq!(WEB_SEARCH.min_bytes(), 6_000);
+        assert_eq!(WEB_SEARCH.max_bytes(), 30_000_000);
+        assert_eq!(DATA_MINING.min_bytes(), 100);
+        assert_eq!(DATA_MINING.max_bytes(), 100_000_000);
+    }
+
+    #[test]
+    fn empirical_quantiles_interpolate_between_knots() {
+        // u = 0 and u = 1 hit the endpoints exactly.
+        assert_eq!(WEB_SEARCH.quantile(0.0), 6_000);
+        assert_eq!(WEB_SEARCH.quantile(1.0), 30_000_000);
+        // Exactly at a knot.
+        assert_eq!(WEB_SEARCH.quantile(0.15), 10_000);
+        // Halfway through the first segment: linear in bytes.
+        assert_eq!(WEB_SEARCH.quantile(0.075), 8_000);
+        // Out-of-range probabilities clamp rather than panic.
+        assert_eq!(DATA_MINING.quantile(-0.5), 100);
+        assert_eq!(DATA_MINING.quantile(1.5), 100_000_000);
+    }
+
+    #[test]
+    fn empirical_mean_matches_hand_computation() {
+        // Two-segment toy CDF: half the mass uniform on [0, 10], half on
+        // [10, 30]; mean = 0.5*5 + 0.5*20 = 12.5.
+        static TOY: EmpiricalCdf = EmpiricalCdf {
+            name: "toy",
+            points: &[(0, 0.0), (10, 0.5), (30, 1.0)],
+        };
+        TOY.validate();
+        assert!((TOY.mean() - 12.5).abs() < 1e-9);
+        assert_eq!(FlowSizeModel::Empirical(&TOY).cdf().unwrap().name, "toy");
     }
 
     #[test]

@@ -367,3 +367,74 @@ fn stride_and_random_matrices_avoid_self() {
         }
     }
 }
+
+/// Empirical-CDF sampling is a pure function of the RNG stream: the same
+/// seed always reproduces the same sample sequence, and different seeds
+/// explore different sequences.
+#[test]
+fn empirical_cdf_sampling_is_deterministic_per_seed() {
+    for case in 0..CASES {
+        let mut params = case_rng(12, case);
+        let seed = params.range(0u64..10_000);
+        for cdf in [&workload::WEB_SEARCH, &workload::DATA_MINING] {
+            let draw = |seed: u64| -> Vec<u64> {
+                let mut rng = SimRng::new(seed);
+                (0..32).map(|_| cdf.sample(&mut rng)).collect()
+            };
+            let a = draw(seed);
+            let b = draw(seed);
+            assert_eq!(a, b, "{} seed={seed}", cdf.name);
+            let c = draw(seed ^ 0x5EED_0001);
+            assert_ne!(a, c, "{} different seeds must differ", cdf.name);
+            for v in a {
+                assert!(
+                    (cdf.min_bytes()..=cdf.max_bytes()).contains(&v),
+                    "{} sample {v} out of CDF support",
+                    cdf.name
+                );
+            }
+        }
+    }
+}
+
+/// Inverse-transform sampling converges: the mean over many samples
+/// approaches the analytic piecewise-linear mean of the CDF.
+#[test]
+fn empirical_cdf_sample_means_converge_to_the_analytic_mean() {
+    const SAMPLES: usize = 200_000;
+    for (cdf, tolerance) in [
+        // Web-search mass is spread broadly: tight tolerance.
+        (&workload::WEB_SEARCH, 0.05),
+        // Data-mining is dominated by its extreme tail (top 2 % of flows
+        // carry most bytes), so the sample mean has higher variance.
+        (&workload::DATA_MINING, 0.10),
+    ] {
+        cdf.validate();
+        let mut rng = SimRng::new(0xCDF_CA5E);
+        let sum: f64 = (0..SAMPLES).map(|_| cdf.sample(&mut rng) as f64).sum();
+        let sample_mean = sum / SAMPLES as f64;
+        let analytic = cdf.mean();
+        let rel = (sample_mean - analytic).abs() / analytic;
+        assert!(
+            rel < tolerance,
+            "{}: sample mean {sample_mean:.0} vs analytic {analytic:.0} (rel err {rel:.4})",
+            cdf.name
+        );
+    }
+}
+
+/// The quantile function is monotone non-decreasing over [0, 1] — the basic
+/// soundness requirement for inverse-transform sampling.
+#[test]
+fn empirical_cdf_quantile_is_monotone() {
+    for cdf in [&workload::WEB_SEARCH, &workload::DATA_MINING] {
+        let mut prev = 0u64;
+        for i in 0..=1_000 {
+            let q = cdf.quantile(i as f64 / 1_000.0);
+            assert!(q >= prev, "{} quantile not monotone at {i}", cdf.name);
+            prev = q;
+        }
+        assert_eq!(cdf.quantile(0.0), cdf.min_bytes());
+        assert_eq!(cdf.quantile(1.0), cdf.max_bytes());
+    }
+}
