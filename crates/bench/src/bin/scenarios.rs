@@ -12,6 +12,7 @@
 //!   scenarios run <name>... [--full | --paper] [--seed N] [--threads N] [--json]
 //!   scenarios check [<name>...] [--threads N]       # a.k.a. `scenarios --check`
 //!   scenarios bless [<name>...] [--threads N]       # a.k.a. `scenarios --bless`
+//!   scenarios conserve [<name>...] [--seeds N] [--all-configs] [--threads N]
 //!
 //! `--full` runs the 64-host benchmark scale the replaced binaries used by
 //! default; `--paper` the 512-server paper scale (their old `--full`).
@@ -23,6 +24,14 @@
 //! drift, writing a line diff per drifted scenario to `target/golden-diff/`
 //! (the artifact CI uploads). `bless` intentionally rewrites the snapshots,
 //! so every accepted metrics change is an explicit commit.
+//!
+//! `conserve` is the simulator-wide conservation sweep: for every selected
+//! scenario it runs the first fast-fidelity configuration (every
+//! configuration with `--all-configs`) across `--seeds N` seeds (default 16)
+//! and checks [`mmptcp::ExperimentResults::check_conservation`] on each run —
+//! packets injected must equal delivered + dropped + still-in-network, and
+//! every completed bounded flow must have delivered exactly its size. CI
+//! runs this next to the golden check.
 
 use bench::{summary_headers, summary_row};
 use metrics::{report, Table};
@@ -48,6 +57,8 @@ struct Options {
     fidelity: Fidelity,
     fidelity_flag_seen: bool,
     seed: Option<u64>,
+    seeds: u64,
+    all_configs: bool,
     json: bool,
 }
 
@@ -56,14 +67,17 @@ enum Command {
     Run,
     Check,
     Bless,
+    Conserve,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <list|run|check|bless> [<name>...] [--full | --paper] [--seed N] \
-         [--threads N] [--json]\n\
+        "usage: scenarios <list|run|check|bless|conserve> [<name>...] [--full | --paper] \
+         [--seed N] [--seeds N] [--all-configs] [--threads N] [--json]\n\
          flags --check / --bless select the corresponding command directly; check/bless \
-         always run the pinned fast fidelity and reject --full/--paper/--seed"
+         always run the pinned fast fidelity and reject --full/--paper/--seed;\n\
+         conserve sweeps --seeds N seeds (default 16) over every scenario's first fast \
+         config (--all-configs: every config) and checks the conservation laws"
     );
     std::process::exit(2)
 }
@@ -78,6 +92,8 @@ fn parse_args() -> Options {
         fidelity: Fidelity::Fast,
         fidelity_flag_seen: false,
         seed: None,
+        seeds: 16,
+        all_configs: false,
         json: false,
     };
     let mut command = None;
@@ -88,8 +104,14 @@ fn parse_args() -> Options {
             "run" if command.is_none() => command = Some(Command::Run),
             "check" if command.is_none() => command = Some(Command::Check),
             "bless" if command.is_none() => command = Some(Command::Bless),
+            "conserve" if command.is_none() => command = Some(Command::Conserve),
             "--check" => command = Some(Command::Check),
             "--bless" => command = Some(Command::Bless),
+            "--all-configs" => opts.all_configs = true,
+            "--seeds" => {
+                let Some(v) = args.next() else { usage() };
+                opts.seeds = v.parse().unwrap_or_else(|_| usage());
+            }
             "--full" => {
                 opts.fidelity = Fidelity::Full;
                 opts.fidelity_flag_seen = true;
@@ -114,12 +136,20 @@ fn parse_args() -> Options {
     opts.command = command.unwrap_or_else(|| usage());
     // Golden snapshots are pinned at fast fidelity and seed: a check or
     // bless at any other scale would silently compare apples to oranges.
-    if matches!(opts.command, Command::Check | Command::Bless)
-        && (opts.fidelity_flag_seen || opts.seed.is_some())
+    // The conservation sweep likewise always runs the fast fidelity and
+    // owns its seeds (--seeds); rejecting the flags beats ignoring them.
+    if matches!(
+        opts.command,
+        Command::Check | Command::Bless | Command::Conserve
+    ) && (opts.fidelity_flag_seen || opts.seed.is_some())
     {
-        eprintln!("check/bless always run the pinned fast fidelity; drop --full/--paper/--seed");
+        eprintln!(
+            "check/bless/conserve always run the pinned fast fidelity; \
+             drop --full/--paper/--seed (conserve takes --seeds N)"
+        );
         std::process::exit(2);
     }
+    opts.seeds = opts.seeds.max(1);
     opts
 }
 
@@ -265,6 +295,45 @@ fn cmd_check(opts: &Options) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Conservation sweep: run the selected scenarios' fast configurations
+/// across many seeds and check the packet/byte conservation laws on every
+/// run. Exits non-zero (listing every violation) if any law is broken.
+fn cmd_conserve(opts: &Options) -> ExitCode {
+    let mut configs: Vec<(String, ExperimentConfig)> = Vec::new();
+    for s in select(&opts.names, false) {
+        let expanded = s.configs(Fidelity::Fast);
+        let chosen: Vec<_> = if opts.all_configs {
+            expanded
+        } else {
+            expanded.into_iter().take(1).collect()
+        };
+        for (label, cfg) in chosen {
+            for seed in 1..=opts.seeds {
+                let mut c = cfg.clone();
+                c.seed = seed;
+                configs.push((format!("{} / {label} seed={seed}", s.name), c));
+            }
+        }
+    }
+    let total = configs.len();
+    println!("conservation sweep: {total} runs ({} seeds)", opts.seeds);
+    let results = mmptcp::Driver::with_threads(opts.threads).run_labelled(configs);
+    let mut violations = Vec::new();
+    for (label, r) in &results {
+        if let Err(e) = r.check_conservation() {
+            eprintln!("VIOLATION  {label}: {e}");
+            violations.push(label.clone());
+        }
+    }
+    if violations.is_empty() {
+        println!("conservation laws hold across all {total} runs");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} of {total} runs violated conservation", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     match opts.command {
@@ -272,5 +341,6 @@ fn main() -> ExitCode {
         Command::Run => cmd_run(&opts),
         Command::Check => cmd_check(&opts),
         Command::Bless => cmd_bless(&opts),
+        Command::Conserve => cmd_conserve(&opts),
     }
 }

@@ -109,6 +109,12 @@ impl HarnessOptions {
         if name == "packet-scatter" || name == "ps" {
             return Some(Protocol::PacketScatter);
         }
+        if name == "repflow" {
+            return Some(Protocol::repflow());
+        }
+        if name == "repsyn" {
+            return Some(Protocol::repsyn());
+        }
         if let Some(rest) = name.strip_prefix("mmptcp") {
             let subflows = rest.trim_start_matches('-').parse().unwrap_or(8);
             return Some(Protocol::Mmptcp {
@@ -226,6 +232,14 @@ mod tests {
         assert_eq!(
             HarnessOptions::resolve_protocol("ps"),
             Some(Protocol::PacketScatter)
+        );
+        assert_eq!(
+            HarnessOptions::resolve_protocol("repflow"),
+            Some(Protocol::repflow())
+        );
+        assert_eq!(
+            HarnessOptions::resolve_protocol("repsyn"),
+            Some(Protocol::repsyn())
         );
         assert_eq!(HarnessOptions::resolve_protocol("quic"), None);
     }

@@ -23,6 +23,10 @@ pub struct FlowRecord {
     pub spurious_retransmits: u32,
     /// When the MMPTCP phase switch happened, if it did.
     pub phase_switched: Option<SimTime>,
+    /// Bytes the sender put on the wire beyond the flow's size (replica
+    /// copies plus retransmissions), as reported by replication-based
+    /// transports via [`Signal::RedundantBytes`].
+    pub redundant_bytes: u64,
 }
 
 impl FlowRecord {
@@ -79,6 +83,7 @@ impl FlowMetrics {
                         .or_default()
                         .push((*at, *bytes));
                 }
+                Signal::RedundantBytes { bytes, .. } => rec.redundant_bytes += bytes,
             }
         }
     }
@@ -183,6 +188,16 @@ impl FlowMetrics {
             .iter()
             .filter(|(id, r)| filter(**id) && r.rtos > 0)
             .count()
+    }
+
+    /// Total redundant bytes (replica copies + retransmissions reported via
+    /// [`Signal::RedundantBytes`]) over the selected flows.
+    pub fn redundant_bytes<F: Fn(FlowId) -> bool>(&self, filter: F) -> u64 {
+        self.records
+            .iter()
+            .filter(|(id, _)| filter(**id))
+            .map(|(_, r)| r.redundant_bytes)
+            .sum()
     }
 
     /// Aggregate goodput (bytes per second) of the selected flows over the
@@ -350,6 +365,26 @@ mod tests {
         // 250 MB over 2 s = 1 Gbps.
         let bps = m.goodput_bps(|_| true, SimTime::ZERO, SimTime::from_secs(2));
         assert!((bps - 1e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn redundant_bytes_accumulate_per_flow() {
+        let mut m = FlowMetrics::new();
+        m.ingest(&[
+            Signal::RedundantBytes {
+                flow: FlowId(1),
+                at: SimTime::from_millis(5),
+                bytes: 70_000,
+            },
+            Signal::RedundantBytes {
+                flow: FlowId(2),
+                at: SimTime::from_millis(6),
+                bytes: 1_400,
+            },
+        ]);
+        assert_eq!(m.record(FlowId(1)).unwrap().redundant_bytes, 70_000);
+        assert_eq!(m.redundant_bytes(|_| true), 71_400);
+        assert_eq!(m.redundant_bytes(|f| f.0 == 2), 1_400);
     }
 
     #[test]

@@ -130,6 +130,12 @@ pub struct RunReport {
     pub label: String,
     /// Short-flow completion-time summary.
     pub short_fct: FctDoc,
+    /// Completion-time summary of the *mice* among the short flows (at most
+    /// 100 KB). With empirical flow-size workloads the overall short-flow
+    /// percentiles are dominated by multi-megabyte transfers; the mice
+    /// summary is the tail the short-flow transports (RepFlow, packet
+    /// scatter) actually compete on.
+    pub mice_fct: FctDoc,
     /// Whether every bounded short flow finished before the time cap.
     pub all_short_completed: bool,
     /// Number of short flows that saw at least one RTO.
@@ -144,6 +150,9 @@ pub struct RunReport {
     pub ecn_marks: TierCounts,
     /// Flows that executed an MMPTCP phase switch.
     pub phase_switches: usize,
+    /// Bytes sent beyond the flows' sizes (replica copies plus
+    /// retransmissions, as reported by replication-based transports).
+    pub redundant_bytes: u64,
     /// Mean utilisation of aggregation↔core links.
     pub core_utilisation: f64,
 }
@@ -157,6 +166,8 @@ impl RunReport {
         ));
         out.push_str(&format!("{i}\"short_fct\": "));
         self.short_fct.write_json(out, i);
+        out.push_str(&format!(",\n{i}\"mice_fct\": "));
+        self.mice_fct.write_json(out, i);
         out.push_str(&format!(
             ",\n{i}\"all_short_completed\": {},\n{i}\"short_flows_with_rto\": {},\n{i}\"rtos\": {},\n{i}\"long_goodput_gbps\": {},\n",
             self.all_short_completed,
@@ -169,8 +180,9 @@ impl RunReport {
         out.push_str(&format!(",\n{i}\"ecn_marks\": "));
         self.ecn_marks.write_json(out, i);
         out.push_str(&format!(
-            ",\n{i}\"phase_switches\": {},\n{i}\"core_utilisation\": {}\n    }}",
+            ",\n{i}\"phase_switches\": {},\n{i}\"redundant_bytes\": {},\n{i}\"core_utilisation\": {}\n    }}",
             self.phase_switches,
+            self.redundant_bytes,
             json_f64(self.core_utilisation),
         ));
     }
@@ -266,6 +278,14 @@ mod tests {
                     p99_ms: 9.99995,
                     max_ms: 11.0,
                 },
+                mice_fct: FctDoc {
+                    count: 8,
+                    mean_ms: 1.5,
+                    p50_ms: 1.25,
+                    p95_ms: 2.0,
+                    p99_ms: 2.5,
+                    max_ms: 3.0,
+                },
                 all_short_completed: true,
                 short_flows_with_rto: 1,
                 rtos: 2,
@@ -278,6 +298,7 @@ mod tests {
                 },
                 ecn_marks: TierCounts::default(),
                 phase_switches: 0,
+                redundant_bytes: 70_000,
                 core_utilisation: 0.25,
             }],
         }
@@ -312,6 +333,8 @@ mod tests {
         assert!(a.contains("\"mean_ms\": 3.1476"));
         assert!(a.contains("\"p99_ms\": 10"));
         assert!(a.contains("\"total\": 4"));
+        assert!(a.contains("\"mice_fct\""));
+        assert!(a.contains("\"redundant_bytes\": 70000"));
     }
 
     #[test]

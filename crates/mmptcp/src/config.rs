@@ -1,6 +1,6 @@
 //! Experiment configuration: which topology, which workload, which transport.
 
-use netsim::{SimDuration, SimTime};
+use netsim::{PathPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use topology::{DumbbellConfig, FatTreeConfig, ParallelPathConfig, Vl2Config};
 use transport::{DupAckPolicy, SwitchStrategy, TransportConfig};
@@ -37,6 +37,19 @@ pub enum Protocol {
         /// topology-aware threshold from the path count between the endpoints.
         dupack: Option<DupAckPolicy>,
     },
+    /// RepFlow: flows of at most `threshold` bytes (the same mice boundary
+    /// the report layer uses) race two replicated single-path connections
+    /// over ECMP-disjoint paths and complete at the first full delivery;
+    /// larger (and unbounded) flows use one plain TCP connection.
+    /// `syn_only` selects the RepSYN variant, which replicates only the
+    /// handshake and the first window. Host pairs without path diversity
+    /// (path count < 2) never replicate.
+    RepFlow {
+        /// Mice/elephant boundary in bytes (the paper uses 100 KB).
+        threshold: u64,
+        /// Replicate only the handshake + first window (RepSYN).
+        syn_only: bool,
+    },
 }
 
 impl Protocol {
@@ -55,6 +68,22 @@ impl Protocol {
         Protocol::Mptcp { subflows: 8 }
     }
 
+    /// RepFlow with the paper's 100 KB replication threshold.
+    pub fn repflow() -> Protocol {
+        Protocol::RepFlow {
+            threshold: 100_000,
+            syn_only: false,
+        }
+    }
+
+    /// RepSYN: replicate only the handshake and the first window.
+    pub fn repsyn() -> Protocol {
+        Protocol::RepFlow {
+            threshold: 100_000,
+            syn_only: true,
+        }
+    }
+
     /// Short human-readable name for tables.
     pub fn name(&self) -> String {
         match self {
@@ -64,6 +93,10 @@ impl Protocol {
             Protocol::Mptcp { subflows } => format!("mptcp-{subflows}"),
             Protocol::PacketScatter => "packet-scatter".into(),
             Protocol::Mmptcp { subflows, .. } => format!("mmptcp-{subflows}"),
+            Protocol::RepFlow {
+                syn_only: false, ..
+            } => "repflow".into(),
+            Protocol::RepFlow { syn_only: true, .. } => "repsyn".into(),
         }
     }
 }
@@ -131,6 +164,11 @@ pub struct ExperimentConfig {
     pub long_protocol: Option<Protocol>,
     /// Per-subflow TCP parameters.
     pub transport: TransportConfig,
+    /// Multi-path member selection installed on every switch of the fabric:
+    /// per-flow hash ECMP (the default), per-packet scatter, or
+    /// DiffFlow-style size-aware routing (mice scattered, elephants pinned).
+    /// A fabric property, orthogonal to the transport under test.
+    pub path_policy: PathPolicy,
     /// Random seed. The same seed reproduces the same packet-level schedule.
     pub seed: u64,
     /// Hard cap on simulated time.
@@ -155,6 +193,7 @@ impl Default for ExperimentConfig {
             protocol: Protocol::mmptcp_default(),
             long_protocol: None,
             transport: TransportConfig::default(),
+            path_policy: PathPolicy::FlowHash,
             seed: 1,
             max_sim_time: SimDuration::from_secs(20),
             progress_interval: SimDuration::from_millis(50),
@@ -218,6 +257,33 @@ mod tests {
         assert_eq!(Protocol::PacketScatter.name(), "packet-scatter");
         assert_eq!(Protocol::Dctcp.name(), "dctcp");
         assert_eq!(Protocol::D2tcp.name(), "d2tcp");
+        assert_eq!(Protocol::repflow().name(), "repflow");
+        assert_eq!(Protocol::repsyn().name(), "repsyn");
+    }
+
+    #[test]
+    fn repflow_presets_use_the_100kb_boundary() {
+        let Protocol::RepFlow {
+            threshold,
+            syn_only,
+        } = Protocol::repflow()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(threshold, 100_000);
+        assert!(!syn_only);
+        assert!(matches!(
+            Protocol::repsyn(),
+            Protocol::RepFlow { syn_only: true, .. }
+        ));
+    }
+
+    #[test]
+    fn default_path_policy_is_flow_hash_ecmp() {
+        assert_eq!(
+            ExperimentConfig::default().path_policy,
+            PathPolicy::FlowHash
+        );
     }
 
     #[test]

@@ -3,14 +3,14 @@
 //! and collect every measurement the paper reports.
 
 use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
-use crate::results::ExperimentResults;
+use crate::results::{ConservationAudit, ExperimentResults};
 use metrics::{loss_report, overall_utilisation, tier_utilisation, FlowMetrics};
-use netsim::{Addr, Agent, FlowId, SimRng, SimTime, Simulator};
+use netsim::{Addr, Agent, FlowId, PathPolicy, SimRng, SimTime, Simulator};
 use std::collections::HashSet;
 use topology::{BuiltTopology, LinkTier};
 use transport::{
-    D2tcpSender, DupAckPolicy, MmptcpConfig, MmptcpSender, MptcpConfig, MptcpSender, TcpSender,
-    TransportConfig, TransportReceiver,
+    D2tcpSender, DupAckPolicy, MmptcpConfig, MmptcpSender, MptcpConfig, MptcpSender, RepFlowConfig,
+    RepFlowSender, TcpSender, TransportConfig, TransportReceiver,
 };
 use workload::{incast_workload, paper_workload, FlowClass, FlowSpec, Workload};
 
@@ -80,6 +80,23 @@ fn build_sender(
                 cfg, flow, spec.src, spec.dst, src_port, dst_port, spec.size,
             ))
         }
+        Protocol::RepFlow {
+            threshold,
+            syn_only,
+        } => {
+            let cfg = RepFlowConfig {
+                transport,
+                replication_threshold: threshold,
+                syn_only,
+            };
+            // Path diversity decides whether replication can pay off: with a
+            // single path both copies would share one bottleneck, so such
+            // pairs degenerate to plain TCP inside the sender.
+            let paths = topo.path_count(spec.src, spec.dst);
+            Box::new(RepFlowSender::new(
+                cfg, flow, spec.src, spec.dst, src_port, dst_port, spec.size, paths,
+            ))
+        }
         Protocol::Mmptcp {
             subflows,
             switch,
@@ -147,7 +164,14 @@ fn generate_workload(spec: &WorkloadSpec, hosts: &[Addr], rng: &mut SimRng) -> W
 /// Run one experiment to completion.
 pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
     ensure_ecn_marking(&mut config);
-    let topo = config.topology.build();
+    let mut topo = config.topology.build();
+    // The path policy is a fabric property: install it on every switch before
+    // the simulator takes ownership of the network.
+    if config.path_policy != PathPolicy::FlowHash {
+        for sw in topo.network.switches_mut() {
+            sw.set_path_policy(config.path_policy);
+        }
+    }
     let host_addrs: Vec<Addr> = (0..topo.host_count() as u32).map(Addr).collect();
 
     // Workload generation uses a forked RNG stream so changing the workload
@@ -235,10 +259,23 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
 
     let elapsed = sim.now() - SimTime::ZERO;
     let counters = sim.counters();
+    let in_flight_at_end = sim.in_flight_packets() as u64;
 
     // Re-assemble a BuiltTopology around the simulator's network for the
     // tier-based utilisation metrics.
     let network = std::mem::replace(sim.network_mut(), netsim::Network::new());
+    let backlog_at_end: u64 = network.links().iter().map(|l| l.backlog() as u64).sum();
+    let no_route: u64 = network
+        .nodes()
+        .iter()
+        .filter_map(|n| n.as_switch())
+        .map(|s| s.stats().no_route)
+        .sum();
+    let audit = ConservationAudit {
+        in_flight_at_end,
+        backlog_at_end,
+        no_route,
+    };
     let loss = loss_report(&network);
     let overall = overall_utilisation(&network, elapsed);
     let full_topo = BuiltTopology {
@@ -263,6 +300,7 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
         core_utilisation,
         overall_utilisation: overall,
         counters,
+        audit,
         all_short_completed,
         goodput_horizon: config.goodput_horizon,
     }

@@ -8,6 +8,27 @@ use workload::{FlowClass, FlowSpec};
 
 use crate::config::Protocol;
 
+/// Mice/elephant boundary used by the per-class report metrics: short flows
+/// of at most this many bytes are "mice" — the population RepFlow replicates
+/// and DiffFlow scatters, and the one whose tail latency the short-flow
+/// transports compete on.
+pub const MICE_THRESHOLD_BYTES: u64 = 100_000;
+
+/// End-of-run engine state needed to close the packet conservation law —
+/// packets that were accepted by a queue but had not yet been delivered,
+/// dropped or handed to a host when the run ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConservationAudit {
+    /// Packets with a scheduled delivery still pending in the calendar (the
+    /// engine's packet arena) when the run ended.
+    pub in_flight_at_end: u64,
+    /// Packets sitting in link queues, not yet committed to a wire.
+    pub backlog_at_end: u64,
+    /// Packets dropped by switches for lack of a route (0 on well-formed
+    /// topologies; kept separate from queue drops in the engine counter).
+    pub no_route: u64,
+}
+
 /// Everything measured during one experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentResults {
@@ -35,6 +56,8 @@ pub struct ExperimentResults {
     pub overall_utilisation: f64,
     /// Engine counters (events, drops, forwards).
     pub counters: SimCounters,
+    /// End-of-run state closing the packet conservation law.
+    pub audit: ConservationAudit,
     /// Whether every short flow completed before the simulated-time cap.
     pub all_short_completed: bool,
     /// Fixed measurement window for long-flow goodput (see
@@ -107,6 +130,102 @@ impl ExperimentResults {
     /// Summary (ms) of short-flow completion times.
     pub fn short_fct_summary(&self) -> Summary {
         self.metrics.fct_summary_ms(|f| self.short_ids.contains(&f))
+    }
+
+    /// Summary (ms) of completion times over the *mice* among the short
+    /// flows (size ≤ [`MICE_THRESHOLD_BYTES`]). With empirical flow-size
+    /// workloads the overall short-flow percentiles are dominated by
+    /// multi-megabyte transfers; this is the tail the mice-focused
+    /// transports compete on.
+    pub fn mice_fct_summary(&self) -> Summary {
+        let mice: HashSet<FlowId> = self
+            .flows
+            .iter()
+            .filter(|f| {
+                f.class == FlowClass::Short && f.size.is_some_and(|s| s <= MICE_THRESHOLD_BYTES)
+            })
+            .map(|f| FlowId(f.id))
+            .collect();
+        self.metrics.fct_summary_ms(|f| mice.contains(&f))
+    }
+
+    /// Total bytes senders put on the wire beyond their flows' sizes
+    /// (replica copies plus retransmissions, as reported by
+    /// replication-based transports).
+    pub fn redundant_bytes(&self) -> u64 {
+        self.metrics.redundant_bytes(|_| true)
+    }
+
+    /// Check the engine's packet and byte conservation laws for this run.
+    ///
+    /// Packet law: every packet accepted by any queue is eventually exactly
+    /// one of — delivered to a host, forwarded by a switch (and then offered
+    /// to the next queue), dropped (queue overflow or no route), still in
+    /// flight, or still queued:
+    ///
+    /// ```text
+    /// offered == delivered_to_hosts + forwarded + dropped
+    ///            + in_flight_at_end + backlog_at_end
+    /// ```
+    ///
+    /// where `offered` sums `enqueued + dropped` over every link queue, and
+    /// `dropped` is the engine counter (queue drops + no-route drops).
+    ///
+    /// Byte law: every *completed* bounded flow delivered exactly its size,
+    /// and no bounded flow reports more bytes than its size (replication
+    /// must be invisible at connection level).
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let offered = self.loss.edge.offered
+            + self.loss.aggregation.offered
+            + self.loss.core.offered
+            + self.loss.host.offered;
+        let accounted = self.counters.delivered_to_hosts
+            + self.counters.forwarded
+            + self.counters.dropped
+            + self.audit.in_flight_at_end
+            + self.audit.backlog_at_end;
+        if offered != accounted {
+            return Err(format!(
+                "packet conservation violated in '{}' (seed {}): offered {} != \
+                 delivered {} + forwarded {} + dropped {} + in-flight {} + backlog {}",
+                self.name,
+                self.seed,
+                offered,
+                self.counters.delivered_to_hosts,
+                self.counters.forwarded,
+                self.counters.dropped,
+                self.audit.in_flight_at_end,
+                self.audit.backlog_at_end,
+            ));
+        }
+        let queue_drops = self.loss.total_dropped();
+        if self.counters.dropped != queue_drops + self.audit.no_route {
+            return Err(format!(
+                "drop accounting violated in '{}' (seed {}): engine dropped {} != \
+                 queue drops {} + no-route {}",
+                self.name, self.seed, self.counters.dropped, queue_drops, self.audit.no_route,
+            ));
+        }
+        for spec in &self.flows {
+            let Some(size) = spec.size else { continue };
+            let Some(rec) = self.metrics.record(FlowId(spec.id)) else {
+                continue;
+            };
+            if rec.completed.is_some() && rec.bytes != size {
+                return Err(format!(
+                    "byte conservation violated in '{}' (seed {}): flow {} completed \
+                     with {} bytes, size is {}",
+                    self.name, self.seed, spec.id, rec.bytes, size,
+                ));
+            }
+            if rec.bytes > size {
+                return Err(format!(
+                    "over-delivery in '{}' (seed {}): flow {} reports {} bytes > size {}",
+                    self.name, self.seed, spec.id, rec.bytes, size,
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Number of short flows that experienced at least one RTO.
@@ -271,6 +390,7 @@ mod tests {
             core_utilisation: UtilisationReport::default(),
             overall_utilisation: 0.0,
             counters: SimCounters::default(),
+            audit: ConservationAudit::default(),
             all_short_completed: true,
             goodput_horizon: None,
         }
@@ -305,6 +425,78 @@ mod tests {
         assert!(!r.is_short(FlowId(0)));
         assert_eq!(r.phase_switches(), 0);
         assert_eq!(r.short_spurious_retransmits(), 0);
+    }
+
+    #[test]
+    fn mice_summary_filters_by_flow_size() {
+        use netsim::Addr;
+        use workload::FlowSpec;
+        let mut r = fake_results();
+        // Flow 1 (70 KB) is a mouse; flow 2 (5 MB) is not.
+        r.flows = vec![
+            FlowSpec::new(
+                1,
+                Addr(0),
+                Addr(1),
+                Some(70_000),
+                SimTime::from_millis(0),
+                workload::FlowClass::Short,
+            ),
+            FlowSpec::new(
+                2,
+                Addr(2),
+                Addr(3),
+                Some(5_000_000),
+                SimTime::from_millis(0),
+                workload::FlowClass::Short,
+            ),
+        ];
+        let mice = r.mice_fct_summary();
+        assert_eq!(mice.count, 1);
+        assert!((mice.mean - 100.0).abs() < 1e-9, "only flow 1 qualifies");
+        assert_eq!(r.short_fct_summary().count, 2);
+    }
+
+    #[test]
+    fn conservation_checks_pass_on_consistent_results_and_catch_tampering() {
+        let r = fake_results();
+        assert!(r.check_conservation().is_ok());
+        // A lost packet that is neither delivered nor dropped must be caught.
+        let mut broken = fake_results();
+        broken.loss.edge.offered = 10;
+        let err = broken.check_conservation().unwrap_err();
+        assert!(err.contains("packet conservation"), "{err}");
+        // Engine drop counter inconsistent with queue drops + no-route.
+        let mut broken = fake_results();
+        broken.counters.dropped = 3;
+        let err = broken.check_conservation().unwrap_err();
+        assert!(
+            err.contains("conservation") || err.contains("accounting"),
+            "{err}"
+        );
+        // A completed flow that delivered the wrong byte count must be caught.
+        let mut broken = fake_results();
+        broken.flows = vec![workload::FlowSpec::new(
+            1,
+            netsim::Addr(0),
+            netsim::Addr(1),
+            Some(69_999),
+            SimTime::from_millis(0),
+            workload::FlowClass::Short,
+        )];
+        let err = broken.check_conservation().unwrap_err();
+        assert!(err.contains("byte conservation"), "{err}");
+    }
+
+    #[test]
+    fn redundant_bytes_roll_up_from_the_signal_stream() {
+        let mut r = fake_results();
+        r.metrics.ingest(&[netsim::Signal::RedundantBytes {
+            flow: FlowId(1),
+            at: SimTime::from_millis(50),
+            bytes: 42_000,
+        }]);
+        assert_eq!(r.redundant_bytes(), 42_000);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
 use crate::driver::Driver;
 use crate::results::ExperimentResults;
 use metrics::report::{FctDoc, RunReport, ScenarioReport, TierCounts};
-use netsim::{SimDuration, SimTime};
+use netsim::{PathPolicy, SimDuration, SimTime};
 use topology::{FatTreeConfig, LinkFailureSpec};
 use workload::{ArrivalProcess, FlowSizeModel, PaperWorkloadConfig, TrafficMatrix};
 
@@ -107,6 +107,7 @@ fn run_report(label: &str, r: &ExperimentResults) -> RunReport {
     RunReport {
         label: label.to_string(),
         short_fct: FctDoc::from_summary(&s),
+        mice_fct: FctDoc::from_summary(&r.mice_fct_summary()),
         all_short_completed: r.all_short_completed,
         short_flows_with_rto: r.short_flows_with_rto(),
         rtos: r.metrics.total_rtos(|_| true),
@@ -124,13 +125,14 @@ fn run_report(label: &str, r: &ExperimentResults) -> RunReport {
             host: r.loss.host.marked,
         },
         phase_switches: r.phase_switches(),
+        redundant_bytes: r.redundant_bytes(),
         core_utilisation: r.core_utilisation.mean,
     }
 }
 
 /// The full scenario catalog, in stable display order.
 pub fn catalog() -> &'static [Scenario] {
-    static CATALOG: [Scenario; 9] = [
+    static CATALOG: [Scenario; 10] = [
         Scenario {
             name: "fig1a",
             description: "Figure 1(a): MPTCP short-flow FCT vs subflow count (1..9)",
@@ -184,6 +186,12 @@ pub fn catalog() -> &'static [Scenario] {
             description: "MMPTCP short flows sharing the fabric with TCP/MPTCP long flows",
             golden: true,
             build: coexistence,
+        },
+        Scenario {
+            name: "battle-matrix",
+            description: "Every transport (incl. RepFlow/RepSYN, DiffFlow routing) x empirical workload x load",
+            golden: true,
+            build: battle_matrix,
         },
     ];
     &CATALOG
@@ -440,6 +448,100 @@ fn coexistence(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
         .collect()
 }
 
+/// The short-vs-long battleground: every transport family (including the
+/// replication-based RepFlow/RepSYN and switch-side DiffFlow size-aware
+/// routing) crossed with both empirical flow-size workloads and an offered
+/// load sweep. Load is expressed as the target fraction of a host's access
+/// link consumed by its short-flow arrivals: the Poisson mean inter-arrival
+/// is derived from the workload CDF's analytic mean flow size, so "load 0.6"
+/// means the same pressure under web-search and data-mining sizes.
+fn battle_matrix(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let variants: Vec<(&'static str, Protocol, PathPolicy)> = match fidelity {
+        Fidelity::Fast => vec![
+            ("tcp", Protocol::Tcp, PathPolicy::FlowHash),
+            ("mptcp-8", Protocol::mptcp8(), PathPolicy::FlowHash),
+            ("mmptcp-8", Protocol::mmptcp_default(), PathPolicy::FlowHash),
+            ("repflow", Protocol::repflow(), PathPolicy::FlowHash),
+            (
+                "tcp+diffflow",
+                Protocol::Tcp,
+                PathPolicy::diffflow_default(),
+            ),
+        ],
+        _ => vec![
+            ("tcp", Protocol::Tcp, PathPolicy::FlowHash),
+            ("dctcp", Protocol::Dctcp, PathPolicy::FlowHash),
+            ("mptcp-8", Protocol::mptcp8(), PathPolicy::FlowHash),
+            (
+                "packet-scatter",
+                Protocol::PacketScatter,
+                PathPolicy::FlowHash,
+            ),
+            ("mmptcp-8", Protocol::mmptcp_default(), PathPolicy::FlowHash),
+            ("repflow", Protocol::repflow(), PathPolicy::FlowHash),
+            ("repsyn", Protocol::repsyn(), PathPolicy::FlowHash),
+            (
+                "tcp+diffflow",
+                Protocol::Tcp,
+                PathPolicy::diffflow_default(),
+            ),
+        ],
+    };
+    let workloads: &[(&str, FlowSizeModel)] = &[
+        ("web-search", FlowSizeModel::WebSearch),
+        ("data-mining", FlowSizeModel::DataMining),
+    ];
+    // Target loads in thousandths of the access-link rate.
+    let loads: &[u32] = match fidelity {
+        Fidelity::Fast => &[400, 600],
+        _ => &[200, 400, 600, 800],
+    };
+    // At the 16-host fast scale a single permutation matrix leaves only ~5
+    // long flows, so per-cell goodput is dominated by which paths collide;
+    // two seeds per cell make cross-transport comparisons meaningful. The
+    // larger fidelities have enough flows per run.
+    let seeds: &[u64] = match fidelity {
+        Fidelity::Fast => &[1, 2],
+        _ => &[1],
+    };
+    let mut out = Vec::new();
+    for &(wl_name, model) in workloads {
+        let mean_flow_bits = model.cdf().expect("empirical workload").mean() * 8.0;
+        for &load in loads {
+            // Host access links are 1 Gbps in every battle topology.
+            let arrival_rate = 1e9 * (load as f64 / 1000.0) / mean_flow_bits;
+            let interarrival = SimDuration::from_secs_f64(1.0 / arrival_rate);
+            for &(variant, protocol, policy) in &variants {
+                let mut cfg = with_paper_workload(base(fidelity, protocol), |w| {
+                    w.short_size = model;
+                    w.arrivals = ArrivalProcess::Poisson {
+                        mean_interarrival: interarrival,
+                    };
+                });
+                cfg.path_policy = policy;
+                // Empirical-CDF mice bursts displace elephants for hundreds
+                // of milliseconds at a time; a multi-second goodput window
+                // averages over those transients so long-flow comparisons
+                // across transports are not dominated by which burst the
+                // 1 s Figure-1 window happens to straddle.
+                cfg.goodput_horizon = Some(SimDuration::from_secs(3));
+                for &seed in seeds {
+                    let mut c = cfg.clone();
+                    c.seed = seed;
+                    let load_label = format!("load {:.1}", load as f64 / 1000.0);
+                    let label = if seeds.len() == 1 {
+                        format!("{variant} | {wl_name} @ {load_label}")
+                    } else {
+                        format!("{variant} | {wl_name} @ {load_label} seed={seed}")
+                    };
+                    out.push((label, c));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +718,71 @@ mod tests {
             } else {
                 assert!(ft.failures.is_active(), "{label}");
             }
+        }
+    }
+
+    #[test]
+    fn battle_matrix_crosses_variants_workloads_and_loads() {
+        // Fast: 5 variants x 2 workloads x 2 loads x 2 seeds; full: 8 x 2 x 4.
+        let fast = find("battle-matrix").unwrap().configs(Fidelity::Fast);
+        assert_eq!(fast.len(), 5 * 2 * 2 * 2);
+        let full = find("battle-matrix").unwrap().configs(Fidelity::Full);
+        assert_eq!(full.len(), 8 * 2 * 4);
+        // The DiffFlow variant carries the size-aware path policy; everything
+        // else runs plain per-flow ECMP.
+        for (label, cfg) in &fast {
+            if label.starts_with("tcp+diffflow") {
+                assert_eq!(cfg.path_policy, PathPolicy::diffflow_default(), "{label}");
+            } else {
+                assert_eq!(cfg.path_policy, PathPolicy::FlowHash, "{label}");
+            }
+            let WorkloadSpec::Paper(p) = &cfg.workload else {
+                panic!("{label} must use the paper workload");
+            };
+            assert!(matches!(
+                p.short_size,
+                FlowSizeModel::WebSearch | FlowSizeModel::DataMining
+            ));
+        }
+        // RepFlow and RepSYN are distinct variants at full fidelity.
+        assert!(full.iter().any(|(l, c)| l.starts_with("repflow")
+            && matches!(
+                c.protocol,
+                Protocol::RepFlow {
+                    syn_only: false,
+                    ..
+                }
+            )));
+        assert!(full.iter().any(|(l, c)| l.starts_with("repsyn")
+            && matches!(c.protocol, Protocol::RepFlow { syn_only: true, .. })));
+    }
+
+    #[test]
+    fn battle_matrix_load_sets_the_interarrival_from_the_cdf_mean() {
+        // At load L the mean inter-arrival must equal mean_flow_bits / (L * 1 Gbps).
+        for (label, cfg) in find("battle-matrix").unwrap().configs(Fidelity::Fast) {
+            let WorkloadSpec::Paper(p) = &cfg.workload else {
+                panic!("paper workload expected");
+            };
+            let mean_bits = p.short_size.cdf().unwrap().mean() * 8.0;
+            let load: f64 = label
+                .rsplit("load ")
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .expect("load suffix");
+            let ArrivalProcess::Poisson { mean_interarrival } = p.arrivals else {
+                panic!("poisson arrivals expected");
+            };
+            let expected_secs = mean_bits / (load * 1e9);
+            let got = mean_interarrival.as_secs_f64();
+            assert!(
+                (got - expected_secs).abs() / expected_secs < 1e-6,
+                "{label}: interarrival {got} vs expected {expected_secs}"
+            );
         }
     }
 

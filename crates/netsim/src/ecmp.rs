@@ -44,6 +44,38 @@ pub fn select(packet: &Packet, salt: u64, n: usize) -> usize {
     (flow_hash(packet, salt) % n as u64) as usize
 }
 
+/// Per-packet scatter selection: like [`select`] but folds a per-switch
+/// `nonce` (a forwarding counter) into the hash, so consecutive packets of
+/// the same flow spread over the candidate set. Used by switch-side
+/// packet-spraying path policies (per-packet scatter and DiffFlow's mice
+/// scattering); deterministic given the forwarding history, unlike drawing
+/// from an RNG.
+#[inline]
+pub fn select_scatter(packet: &Packet, salt: u64, nonce: u64, n: usize) -> usize {
+    assert!(n > 0, "ECMP selection over an empty next-hop set");
+    if n == 1 {
+        return 0;
+    }
+    (mix64(flow_hash(packet, salt) ^ mix64(nonce)) % n as u64) as usize
+}
+
+/// Flow-pinned selection that ignores the ports: hashes only source,
+/// destination and flow id. DiffFlow-style switches use this for elephants so
+/// a large flow stays on one stable path even when the transport randomises
+/// its source port per packet, and so the pin moves deterministically to a
+/// surviving sibling when the next-hop group shrinks after a link failure
+/// (stateless `hash % n` re-pins on group-size change — no flow entry can go
+/// stale and keep pointing at a removed link).
+#[inline]
+pub fn select_pinned(packet: &Packet, salt: u64, n: usize) -> usize {
+    assert!(n > 0, "ECMP selection over an empty next-hop set");
+    if n == 1 {
+        return 0;
+    }
+    let a = ((packet.src.0 as u64) << 32) | packet.dst.0 as u64;
+    (mix64(a ^ mix64(packet.flow.0 ^ salt)) % n as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +156,45 @@ mod tests {
     #[should_panic(expected = "empty next-hop set")]
     fn empty_candidate_set_panics() {
         select(&pkt(50_000), 9, 0);
+    }
+
+    #[test]
+    fn scatter_nonce_spreads_a_single_flow() {
+        // One pinned 5-tuple, varying only the nonce: the whole candidate set
+        // must be exercised roughly uniformly.
+        let n = 8;
+        let p = pkt(50_000);
+        let mut counts = vec![0usize; n];
+        for nonce in 0..4096u64 {
+            counts[select_scatter(&p, 42, nonce, n)] += 1;
+        }
+        let expected = 4096 / n;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as i64 - expected as i64).abs() < (expected as i64) / 2,
+                "bucket {i} count {c} far from expected {expected}"
+            );
+        }
+        // Same nonce, same choice (determinism).
+        assert_eq!(
+            select_scatter(&p, 42, 7, n),
+            select_scatter(&pkt(50_000), 42, 7, n)
+        );
+    }
+
+    #[test]
+    fn pinned_selection_ignores_ports() {
+        // An elephant whose transport randomises source ports must still land
+        // on one stable path.
+        let n = 4;
+        let first = select_pinned(&pkt(49_152), 9, n);
+        for port in 49_153..49_153 + 256 {
+            assert_eq!(select_pinned(&pkt(port), 9, n), first);
+        }
+        // Shrinking the group re-pins deterministically within range.
+        for m in 1..=n {
+            assert!(select_pinned(&pkt(50_000), 9, m) < m);
+        }
     }
 
     #[test]

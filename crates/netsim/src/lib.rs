@@ -72,7 +72,7 @@ pub use queue::{DropTailQueue, EnqueueOutcome, QueueConfig, QueueStats};
 pub use rng::SimRng;
 pub use signal::Signal;
 pub use sim::{SimCounters, Simulator};
-pub use switch::{Switch, SwitchLayer, SwitchStats};
+pub use switch::{PathPolicy, Switch, SwitchLayer, SwitchStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{LinkSnapshot, QueueMonitor, QueueSample};
 
@@ -89,6 +89,6 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::signal::Signal;
     pub use crate::sim::Simulator;
-    pub use crate::switch::SwitchLayer;
+    pub use crate::switch::{PathPolicy, SwitchLayer};
     pub use crate::time::{SimDuration, SimTime};
 }

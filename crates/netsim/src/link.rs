@@ -265,6 +265,16 @@ impl Link {
         self.queue.len() + self.committed.len()
     }
 
+    /// Packets accepted into the queue whose transmission has not been
+    /// committed to the wire yet. Unlike [`Link::queue_len`], committed-burst
+    /// packets are excluded: those already have `Delivery` events scheduled
+    /// (they live in the engine's packet arena), so this is exactly the
+    /// "enqueued but not yet in flight" term of the engine's packet
+    /// conservation law.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Queue counters.
     pub fn queue_stats(&self) -> QueueStats {
         self.queue.stats()

@@ -175,6 +175,12 @@ impl Network {
             .collect()
     }
 
+    /// Mutable iterator over every switch, e.g. for installing a fabric-wide
+    /// [`crate::switch::PathPolicy`] after the topology is built.
+    pub fn switches_mut(&mut self) -> impl Iterator<Item = &mut Switch> {
+        self.nodes.iter_mut().filter_map(|n| n.as_switch_mut())
+    }
+
     /// The list of switch node ids at a given layer.
     pub fn switches_at(&self, layer: SwitchLayer) -> Vec<NodeId> {
         self.nodes

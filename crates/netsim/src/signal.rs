@@ -79,6 +79,21 @@ pub enum Signal {
         /// When it was detected.
         at: SimTime,
     },
+    /// Redundant bytes a sender put on the wire beyond what the application
+    /// needed — replica copies (RepFlow/RepSYN) plus retransmissions. Every
+    /// bounded sender emits this once when the flow completes (or at
+    /// finalize if it never did, measured against the bytes acknowledged by
+    /// then), and only when the excess is non-zero — so the metric compares
+    /// the wire price of replication- and retransmission-based recovery on
+    /// equal terms across transports.
+    RedundantBytes {
+        /// The flow.
+        flow: FlowId,
+        /// When the accounting was taken.
+        at: SimTime,
+        /// Data bytes sent in excess of the flow size.
+        bytes: u64,
+    },
 }
 
 impl Signal {
@@ -91,7 +106,8 @@ impl Signal {
             | Signal::FastRetransmit { flow, .. }
             | Signal::PhaseSwitched { flow, .. }
             | Signal::FlowProgress { flow, .. }
-            | Signal::SpuriousRetransmit { flow, .. } => *flow,
+            | Signal::SpuriousRetransmit { flow, .. }
+            | Signal::RedundantBytes { flow, .. } => *flow,
         }
     }
 
@@ -104,7 +120,8 @@ impl Signal {
             | Signal::FastRetransmit { at, .. }
             | Signal::PhaseSwitched { at, .. }
             | Signal::FlowProgress { at, .. }
-            | Signal::SpuriousRetransmit { at, .. } => *at,
+            | Signal::SpuriousRetransmit { at, .. }
+            | Signal::RedundantBytes { at, .. } => *at,
         }
     }
 }
@@ -150,6 +167,11 @@ mod tests {
                 flow: FlowId(7),
                 subflow: 0,
                 at: SimTime::from_millis(7),
+            },
+            Signal::RedundantBytes {
+                flow: FlowId(8),
+                at: SimTime::from_millis(8),
+                bytes: 70_000,
             },
         ];
         for (i, s) in signals.iter().enumerate() {

@@ -1,10 +1,12 @@
-//! Output-queued switches with hash-based ECMP forwarding.
+//! Output-queued switches with configurable multi-path forwarding.
 //!
 //! A switch owns a routing table mapping destination hosts to *groups* of
 //! equal-cost output links. Forwarding a packet selects a group by destination
-//! and a member link by ECMP hash. Drops are counted per switch so the metrics
-//! crate can report per-layer (core / aggregation / edge) loss rates, one of
-//! the quantities the paper reports in its §3 text.
+//! and a member link according to the switch's [`PathPolicy`]: classic
+//! per-flow hash ECMP, per-packet scatter, or DiffFlow-style size-aware
+//! routing (mice scattered, elephants pinned). Drops are counted per switch so
+//! the metrics crate can report per-layer (core / aggregation / edge) loss
+//! rates, one of the quantities the paper reports in its §3 text.
 
 use crate::ecmp;
 use crate::ids::{Addr, LinkId, NodeId};
@@ -42,6 +44,58 @@ impl SwitchLayer {
     }
 }
 
+/// How a switch picks one member of a multi-path next-hop group.
+///
+/// The policy is a property of the *fabric*, orthogonal to the transport: the
+/// same TCP sender behaves very differently under per-flow ECMP (one path for
+/// the flow's lifetime), per-packet scatter (maximal path diversity, maximal
+/// reordering) and DiffFlow-style size-aware routing (scatter only while the
+/// flow is still small, pin once it has proven to be an elephant).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PathPolicy {
+    /// Classic hash-based ECMP on the 5-tuple: every packet of a flow follows
+    /// the same path (no reordering); flows as a whole spread across paths.
+    #[default]
+    FlowHash,
+    /// Per-packet scatter: every data packet independently picks a member
+    /// (via a per-switch forwarding nonce), regardless of its 5-tuple. Pure
+    /// control packets (SYNs, ACKs) still follow the flow hash so handshakes
+    /// and ACK clocking stay on stable paths, mirroring how spraying fabrics
+    /// treat the data plane.
+    PerPacketScatter,
+    /// DiffFlow-style size-aware routing: data packets whose connection-level
+    /// byte offset (`Packet::data_seq`, the byte count carried in the packet
+    /// metadata) is still below `elephant_threshold` are treated as mice and
+    /// scattered per packet; once a flow's offset crosses the threshold its
+    /// packets are pinned to one stable path chosen by a port-agnostic flow
+    /// hash, so the elephant stops causing reordering and keeps its ACK
+    /// clock. Control packets follow the flow hash.
+    DiffFlow {
+        /// Byte offset at which a flow stops being a mouse.
+        elephant_threshold: u64,
+    },
+}
+
+impl PathPolicy {
+    /// The conventional DiffFlow configuration: flows become elephants after
+    /// 100 KB — the mice/elephant boundary of the datacentre traffic studies
+    /// both RepFlow and DiffFlow build on.
+    pub fn diffflow_default() -> Self {
+        PathPolicy::DiffFlow {
+            elephant_threshold: 100_000,
+        }
+    }
+
+    /// Short label for run names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PathPolicy::FlowHash => "ecmp",
+            PathPolicy::PerPacketScatter => "scatter",
+            PathPolicy::DiffFlow { .. } => "diffflow",
+        }
+    }
+}
+
 /// Per-switch forwarding counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwitchStats {
@@ -67,6 +121,11 @@ pub struct Switch {
     table: Vec<u16>,
     /// Next-hop groups: each is a non-empty set of equal-cost output links.
     groups: Vec<Vec<LinkId>>,
+    /// Multi-path member selection policy.
+    policy: PathPolicy,
+    /// Forwarding nonce for per-packet scatter policies (incremented per
+    /// scattered packet; deterministic across runs).
+    scatter_nonce: u64,
     stats: SwitchStats,
 }
 
@@ -83,8 +142,20 @@ impl Switch {
             ecmp_salt,
             table: vec![NO_ROUTE; num_hosts],
             groups: Vec::new(),
+            policy: PathPolicy::FlowHash,
+            scatter_nonce: 0,
             stats: SwitchStats::default(),
         }
+    }
+
+    /// The multi-path member selection policy.
+    pub fn path_policy(&self) -> PathPolicy {
+        self.policy
+    }
+
+    /// Install a multi-path member selection policy.
+    pub fn set_path_policy(&mut self, policy: PathPolicy) {
+        self.policy = policy;
     }
 
     /// Register a next-hop group (a set of equal-cost output links) and return
@@ -115,7 +186,8 @@ impl Switch {
         }
     }
 
-    /// Choose the output link for `packet` using hash-based ECMP.
+    /// Choose the output link for `packet` according to the switch's
+    /// [`PathPolicy`].
     ///
     /// Returns `None` (and counts it) if the destination has no route.
     pub fn forward(&mut self, packet: &Packet) -> Option<LinkId> {
@@ -126,7 +198,28 @@ impl Switch {
                 return None;
             }
         };
-        let choice = ecmp::select(packet, self.ecmp_salt, group.len());
+        let n = group.len();
+        let salt = self.ecmp_salt;
+        let scatter = |nonce: &mut u64| {
+            let choice = ecmp::select_scatter(packet, salt, *nonce, n);
+            *nonce = nonce.wrapping_add(1);
+            choice
+        };
+        let choice = match self.policy {
+            PathPolicy::FlowHash => ecmp::select(packet, salt, n),
+            PathPolicy::PerPacketScatter if packet.payload > 0 => scatter(&mut self.scatter_nonce),
+            PathPolicy::DiffFlow { elephant_threshold } if packet.payload > 0 => {
+                if packet.data_seq < elephant_threshold {
+                    scatter(&mut self.scatter_nonce)
+                } else {
+                    ecmp::select_pinned(packet, salt, n)
+                }
+            }
+            // Control packets under the spraying policies keep the flow hash.
+            PathPolicy::PerPacketScatter | PathPolicy::DiffFlow { .. } => {
+                ecmp::select(packet, salt, n)
+            }
+        };
         self.stats.forwarded += 1;
         Some(group[choice])
     }
@@ -247,6 +340,106 @@ mod tests {
     fn empty_group_rejected() {
         let mut sw = Switch::new(NodeId(0), SwitchLayer::Core, 1, 0);
         sw.add_group(vec![]);
+    }
+
+    fn data_pkt(dst: u32, src_port: u16, data_seq: u64, payload: u32) -> Packet {
+        Packet::data(
+            Addr(0),
+            Addr(dst),
+            src_port,
+            80,
+            FlowId(1),
+            0,
+            data_seq,
+            data_seq,
+            payload,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn per_packet_scatter_sprays_one_flow_over_all_uplinks() {
+        let mut sw = switch_with_two_groups();
+        sw.set_path_policy(PathPolicy::PerPacketScatter);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            seen.insert(sw.forward(&data_pkt(1, 51_111, i * 1400, 1400)).unwrap());
+        }
+        assert_eq!(seen.len(), 4, "one pinned 5-tuple must use all uplinks");
+    }
+
+    #[test]
+    fn scatter_policies_keep_control_packets_on_the_flow_hash() {
+        let mut pinned = switch_with_two_groups();
+        let mut scattering = switch_with_two_groups();
+        scattering.set_path_policy(PathPolicy::PerPacketScatter);
+        for _ in 0..32 {
+            let ctrl = data_pkt(1, 51_111, 0, 0); // zero payload = control
+            assert_eq!(pinned.forward(&ctrl), scattering.forward(&ctrl));
+        }
+    }
+
+    #[test]
+    fn diffflow_scatters_mice_and_pins_elephants() {
+        let mut sw = switch_with_two_groups();
+        sw.set_path_policy(PathPolicy::DiffFlow {
+            elephant_threshold: 100_000,
+        });
+        // Below the threshold: the flow sprays.
+        let mut mice_links = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            mice_links.insert(sw.forward(&data_pkt(1, 51_111, i * 1400, 1400)).unwrap());
+        }
+        assert!(mice_links.len() > 1, "mice must scatter");
+        // Beyond the threshold: pinned to one path even with random ports.
+        let first = sw.forward(&data_pkt(1, 49_152, 200_000, 1400)).unwrap();
+        for port in 49_153..49_153 + 64 {
+            assert_eq!(
+                sw.forward(&data_pkt(1, port, 200_000 + port as u64, 1400))
+                    .unwrap(),
+                first,
+                "elephant packets must stay pinned"
+            );
+        }
+    }
+
+    #[test]
+    fn diffflow_elephant_repins_when_the_group_shrinks() {
+        let mut sw = switch_with_two_groups();
+        sw.set_path_policy(PathPolicy::diffflow_default());
+        let pinned = sw.forward(&data_pkt(1, 50_000, 500_000, 1400)).unwrap();
+        // Fail the pinned link: the elephant must move to a surviving sibling
+        // immediately (stateless re-pin), never to the removed link.
+        assert_eq!(sw.remove_link(pinned), 1);
+        for port in 49_152..49_152 + 64 {
+            let link = sw
+                .forward(&data_pkt(1, port, 500_000 + port as u64, 1400))
+                .unwrap();
+            assert_ne!(link, pinned, "must never strand on the failed link");
+        }
+        // And the new pin is again a single stable path.
+        let repinned = sw.forward(&data_pkt(1, 50_000, 600_000, 1400)).unwrap();
+        for _ in 0..16 {
+            assert_eq!(
+                sw.forward(&data_pkt(1, 50_000, 600_000, 1400)).unwrap(),
+                repinned
+            );
+        }
+    }
+
+    #[test]
+    fn default_policy_is_flow_hash() {
+        let sw = Switch::new(NodeId(1), SwitchLayer::Core, 1, 0);
+        assert_eq!(sw.path_policy(), PathPolicy::FlowHash);
+        assert_eq!(PathPolicy::FlowHash.label(), "ecmp");
+        assert_eq!(PathPolicy::PerPacketScatter.label(), "scatter");
+        assert_eq!(PathPolicy::diffflow_default().label(), "diffflow");
+        assert_eq!(
+            PathPolicy::diffflow_default(),
+            PathPolicy::DiffFlow {
+                elephant_threshold: 100_000
+            }
+        );
     }
 
     #[test]

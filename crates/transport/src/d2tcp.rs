@@ -183,6 +183,12 @@ impl D2tcpSender {
                     at: ctx.now(),
                     bytes: total,
                 });
+                crate::signal_redundant_bytes(
+                    ctx,
+                    self.flow,
+                    self.subflow.counters().data_bytes_sent,
+                    total,
+                );
             }
         }
     }
@@ -225,6 +231,14 @@ impl Agent for D2tcpSender {
                         at: ctx.now(),
                         bytes: self.data_acked,
                     });
+                    if self.total.is_some() {
+                        crate::signal_redundant_bytes(
+                            ctx,
+                            self.flow,
+                            self.subflow.counters().data_bytes_sent,
+                            self.data_acked,
+                        );
+                    }
                 }
             }
         }

@@ -333,6 +333,17 @@ impl MmptcpSender {
                 .sum::<u64>()
     }
 
+    /// Total data bytes handed to the network across the PS flow and all
+    /// subflows, including retransmissions.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.scatter.counters().data_bytes_sent
+            + self
+                .subflows
+                .iter()
+                .map(|s| s.counters().data_bytes_sent)
+                .sum::<u64>()
+    }
+
     fn remaining(&self) -> u64 {
         match self.total {
             Some(t) => t.saturating_sub(self.next_data_seq),
@@ -442,6 +453,7 @@ impl MmptcpSender {
                     at: ctx.now(),
                     bytes: total,
                 });
+                crate::signal_redundant_bytes(ctx, self.flow, self.total_bytes_sent(), total);
             }
         }
     }
@@ -511,6 +523,14 @@ impl Agent for MmptcpSender {
                         at: ctx.now(),
                         bytes: self.data_acked,
                     });
+                    if self.total.is_some() {
+                        crate::signal_redundant_bytes(
+                            ctx,
+                            self.flow,
+                            self.total_bytes_sent(),
+                            self.data_acked,
+                        );
+                    }
                 }
             }
         }

@@ -180,6 +180,15 @@ impl MptcpSender {
         self.subflows.iter().map(|s| s.counters().rto_count).sum()
     }
 
+    /// Total data bytes handed to the network across all subflows,
+    /// including retransmissions.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.subflows
+            .iter()
+            .map(|s| s.counters().data_bytes_sent)
+            .sum()
+    }
+
     fn remaining(&self) -> u64 {
         match self.total {
             Some(t) => t.saturating_sub(self.next_data_seq),
@@ -251,6 +260,7 @@ impl MptcpSender {
                     at: ctx.now(),
                     bytes: total,
                 });
+                crate::signal_redundant_bytes(ctx, self.flow, self.total_bytes_sent(), total);
             }
         }
     }
@@ -315,6 +325,14 @@ impl Agent for MptcpSender {
                         at: ctx.now(),
                         bytes: self.data_acked,
                     });
+                    if self.total.is_some() {
+                        crate::signal_redundant_bytes(
+                            ctx,
+                            self.flow,
+                            self.total_bytes_sent(),
+                            self.data_acked,
+                        );
+                    }
                 }
             }
         }

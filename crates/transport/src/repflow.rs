@@ -1,0 +1,612 @@
+//! RepFlow / RepSYN: latency-by-replication transports.
+//!
+//! RepFlow (Xu & Li, arXiv:1307.7451) attacks short-flow tail latency from
+//! the opposite direction to MMPTCP: instead of spraying one connection's
+//! packets over every path, it opens **two independent single-path
+//! connections** for each mouse (flow below a size threshold) and lets them
+//! race. The two connections carry identical application bytes over
+//! (with high probability) ECMP-disjoint paths — different source ports hash
+//! to different next-hop choices at every switch — and the flow completes as
+//! soon as **either** copy is fully delivered, so one congested or lossy path
+//! no longer dictates the tail. Elephants are not replicated: doubling their
+//! bytes would be ruinous, and their completion time is bandwidth- not
+//! latency-bound anyway.
+//!
+//! The [`RepFlowConfig::syn_only`] variant models RepSYN, which replicates
+//! only the handshake and the first window: both SYNs race, the first
+//! connection to establish carries the whole flow, and the other replica is
+//! capped at one initial window. This keeps most of the tail protection
+//! (lost SYNs cost a full `initial_rto` — the 1 s band of Figure 1(b) — and
+//! first-window losses cost an RTO because there are too few duplicate ACKs
+//! for fast retransmit) at a fraction of the redundant bytes.
+//!
+//! Both connections are ordinary [`Subflow`]s sharing one [`netsim::FlowId`],
+//! so the unmodified [`crate::receiver::TransportReceiver`] reassembles them:
+//! each replica has its own subflow sequence space, while the shared
+//! connection-level data sequence numbers make the second copy a no-op at
+//! reassembly. The sender's completion condition — the connection-level
+//! cumulative data ACK covering the flow — is therefore exactly "first full
+//! delivery wins". The bandwidth price (replica copies plus retransmissions)
+//! is reported through [`netsim::Signal::RedundantBytes`].
+
+use crate::config::TransportConfig;
+use crate::subflow::Subflow;
+use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, PacketKind, Signal};
+use serde::{Deserialize, Serialize};
+
+/// Source-port stride between replica connections. A large odd offset keeps
+/// the replicas' 5-tuples far apart in the hash space so they land on
+/// distinct ECMP members with high probability at every switch.
+const REPLICA_PORT_STRIDE: u16 = 8191;
+
+/// RepFlow configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepFlowConfig {
+    /// Per-connection TCP parameters (each replica is a full TCP sender).
+    pub transport: TransportConfig,
+    /// Flows of at most this many bytes (mice) are replicated; larger flows
+    /// and unbounded background flows use a single connection. The RepFlow
+    /// paper draws the mice/elephant boundary at 100 KB, matching the
+    /// report layer's mice classification (size ≤ threshold).
+    pub replication_threshold: u64,
+    /// RepSYN mode: replicate only the handshake and the first window. The
+    /// first replica to establish carries the whole flow; the other stops
+    /// after one initial congestion window of data.
+    pub syn_only: bool,
+}
+
+impl Default for RepFlowConfig {
+    fn default() -> Self {
+        RepFlowConfig {
+            transport: TransportConfig::default(),
+            replication_threshold: 100_000,
+            syn_only: false,
+        }
+    }
+}
+
+impl RepFlowConfig {
+    /// The RepSYN variant of the default configuration.
+    pub fn repsyn() -> Self {
+        RepFlowConfig {
+            syn_only: true,
+            ..RepFlowConfig::default()
+        }
+    }
+}
+
+/// One replica connection: an independent single-path TCP sender plus its
+/// private cursor into the shared application byte stream.
+#[derive(Debug)]
+struct Replica {
+    subflow: Subflow,
+    /// Next connection-level byte this replica will map.
+    cursor: u64,
+    /// Exclusive upper bound of the bytes this replica may carry (the full
+    /// flow, or one initial window for a RepSYN secondary).
+    limit: u64,
+}
+
+/// A RepFlow sender: mice race two replica connections, elephants and
+/// unbounded flows degrade to a single plain-TCP connection.
+#[derive(Debug)]
+pub struct RepFlowSender {
+    cfg: RepFlowConfig,
+    flow: FlowId,
+    total: Option<u64>,
+    replicas: Vec<Replica>,
+    /// Index of the first replica to establish (RepSYN's winner).
+    primary: Option<usize>,
+    data_acked: u64,
+    completed: bool,
+}
+
+impl RepFlowSender {
+    /// Create a sender. `path_count` is the number of ECMP-disjoint paths
+    /// between the endpoints (from the topology's path model): replication
+    /// is pointless on a single path — both copies would queue behind each
+    /// other on the same bottleneck — so path-diversity-starved pairs fall
+    /// back to one connection and the transport degenerates to plain TCP.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: RepFlowConfig,
+        flow: FlowId,
+        src: Addr,
+        dst: Addr,
+        base_src_port: u16,
+        dst_port: u16,
+        total: Option<u64>,
+        path_count: usize,
+    ) -> Self {
+        let replicate =
+            path_count >= 2 && total.is_some_and(|t| t <= cfg.replication_threshold && t > 0);
+        let copies = if replicate { 2 } else { 1 };
+        let limit = total.unwrap_or(u64::MAX);
+        let replicas = (0..copies)
+            .map(|i| Replica {
+                subflow: Subflow::new(
+                    cfg.transport,
+                    i as u8,
+                    false,
+                    src,
+                    dst,
+                    base_src_port.wrapping_add(i as u16 * REPLICA_PORT_STRIDE),
+                    dst_port,
+                    flow,
+                ),
+                cursor: 0,
+                limit,
+            })
+            .collect();
+        RepFlowSender {
+            cfg,
+            flow,
+            total,
+            replicas,
+            primary: None,
+            data_acked: 0,
+            completed: false,
+        }
+    }
+
+    /// Connection-level bytes acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.data_acked
+    }
+
+    /// Has the whole transfer been acknowledged (by either replica)?
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Is this flow being carried by two replica connections?
+    pub fn is_replicated(&self) -> bool {
+        self.replicas.len() > 1
+    }
+
+    /// The replica subflows (for tests and metrics).
+    pub fn replicas(&self) -> Vec<&Subflow> {
+        self.replicas.iter().map(|r| &r.subflow).collect()
+    }
+
+    /// Total data bytes handed to the network across every replica,
+    /// including retransmissions.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.subflow.counters().data_bytes_sent)
+            .sum()
+    }
+
+    /// The winner of the handshake race, once one replica has established.
+    pub fn primary(&self) -> Option<usize> {
+        self.primary
+    }
+
+    fn on_established(&mut self, winner: usize) {
+        if self.primary.is_some() {
+            return;
+        }
+        self.primary = Some(winner);
+        if self.cfg.syn_only {
+            // RepSYN: the race is decided at the handshake. The winner takes
+            // the whole flow; every other replica is capped at one initial
+            // window (it may already be carrying that much — the cap can
+            // only shrink a limit, never extend one).
+            let first_window = self.cfg.transport.initial_cwnd_bytes() as u64;
+            for (i, r) in self.replicas.iter_mut().enumerate() {
+                if i != winner {
+                    r.limit = r.limit.min(first_window.max(r.cursor));
+                }
+            }
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.completed {
+            return;
+        }
+        let mss = self.cfg.transport.mss as u64;
+        for r in &mut self.replicas {
+            loop {
+                let remaining = r.limit.saturating_sub(r.cursor);
+                if remaining == 0 {
+                    break;
+                }
+                let len = mss.min(remaining);
+                if !r.subflow.is_established() || r.subflow.window_space() < len {
+                    break;
+                }
+                r.subflow.send_segment(ctx, r.cursor, len as u32);
+                r.cursor += len;
+            }
+        }
+    }
+
+    fn check_completion(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.completed {
+            return;
+        }
+        let Some(total) = self.total else {
+            return;
+        };
+        if self.data_acked >= total {
+            self.completed = true;
+            ctx.signal(Signal::FlowCompleted {
+                flow: self.flow,
+                at: ctx.now(),
+                bytes: total,
+            });
+            // First full delivery wins: silence the losing replica so it
+            // stops retransmitting bytes nobody needs (the real protocol
+            // closes the slower connection).
+            for r in &mut self.replicas {
+                r.subflow.abort();
+            }
+            crate::signal_redundant_bytes(ctx, self.flow, self.total_bytes_sent(), total);
+        }
+    }
+}
+
+impl Agent for RepFlowSender {
+    fn handle(&mut self, ctx: &mut AgentCtx<'_>, event: AgentEvent) {
+        match event {
+            AgentEvent::Start => {
+                ctx.signal(Signal::FlowStarted {
+                    flow: self.flow,
+                    at: ctx.now(),
+                    bytes: self.total.unwrap_or(u64::MAX),
+                });
+                // Both SYNs race from the first instant.
+                for r in &mut self.replicas {
+                    r.subflow.start(ctx);
+                }
+            }
+            AgentEvent::Packet(pkt) => {
+                if matches!(pkt.kind, PacketKind::Ack | PacketKind::SynAck) {
+                    self.data_acked = self.data_acked.max(pkt.data_ack);
+                    let idx = pkt.subflow as usize;
+                    if idx < self.replicas.len() {
+                        let upd = self.replicas[idx].subflow.on_packet(ctx, &pkt, None);
+                        if upd.became_established {
+                            self.on_established(idx);
+                        }
+                    }
+                    self.pump(ctx);
+                    self.check_completion(ctx);
+                }
+            }
+            AgentEvent::Timer(token) => {
+                let (idx, gen) = Subflow::decode_timer_token(token);
+                if (idx as usize) < self.replicas.len() {
+                    self.replicas[idx as usize].subflow.on_timer(ctx, gen);
+                }
+                self.pump(ctx);
+            }
+            AgentEvent::Finalize => {
+                if !self.completed {
+                    ctx.signal(Signal::FlowProgress {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: self.data_acked,
+                    });
+                    // The replication price must be visible even (especially)
+                    // for flows the run's time cap caught mid-race.
+                    if self.total.is_some() {
+                        crate::signal_redundant_bytes(
+                            ctx,
+                            self.flow,
+                            self.total_bytes_sent(),
+                            self.data_acked,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "repflow-sender({}, {} replicas{}, {:?} bytes)",
+            self.flow,
+            self.replicas.len(),
+            if self.cfg.syn_only { ", syn-only" } else { "" },
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::TransportReceiver;
+    use netsim::{Packet, SimDuration, SimRng, SimTime};
+
+    /// Ideal-network round harness (same shape as the MPTCP/MMPTCP test
+    /// loops): sender packets delivered next half-round, ACKs the one after.
+    struct Loop {
+        tx: RepFlowSender,
+        rx: TransportReceiver,
+        rng: SimRng,
+        timers: Vec<(SimTime, u64)>,
+        signals: Vec<Signal>,
+        now: SimTime,
+        to_rx: Vec<Packet>,
+        to_tx: Vec<Packet>,
+    }
+
+    impl Loop {
+        fn new(cfg: RepFlowConfig, total: u64, paths: usize) -> Self {
+            let flow = FlowId(1);
+            Loop {
+                tx: RepFlowSender::new(cfg, flow, Addr(0), Addr(1), 50_000, 80, Some(total), paths),
+                rx: TransportReceiver::new(flow),
+                rng: SimRng::new(5),
+                timers: Vec::new(),
+                signals: Vec::new(),
+                now: SimTime::from_millis(1),
+                to_rx: Vec::new(),
+                to_tx: Vec::new(),
+            }
+        }
+
+        fn start(&mut self) {
+            let mut out = Vec::new();
+            let mut ctx = AgentCtx::new(
+                self.now,
+                FlowId(1),
+                &mut self.rng,
+                &mut out,
+                &mut self.timers,
+                &mut self.signals,
+            );
+            self.tx.handle(&mut ctx, AgentEvent::Start);
+            self.to_rx.extend(out);
+        }
+
+        fn round(&mut self, drop: &mut impl FnMut(&Packet) -> bool) {
+            self.now += SimDuration::from_micros(100);
+            let mut acks = Vec::new();
+            for pkt in std::mem::take(&mut self.to_rx) {
+                if drop(&pkt) {
+                    continue;
+                }
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut acks,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.rx.handle(&mut ctx, AgentEvent::Packet(pkt));
+            }
+            self.to_tx.extend(acks);
+            self.now += SimDuration::from_micros(100);
+            let mut out = Vec::new();
+            for pkt in std::mem::take(&mut self.to_tx) {
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut out,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.tx.handle(&mut ctx, AgentEvent::Packet(pkt));
+            }
+            self.to_rx.extend(out);
+            let due: Vec<(SimTime, u64)> = self
+                .timers
+                .iter()
+                .copied()
+                .filter(|(t, _)| *t <= self.now)
+                .collect();
+            self.timers.retain(|(t, _)| *t > self.now);
+            for (_, token) in due {
+                let mut out = Vec::new();
+                let mut ctx = AgentCtx::new(
+                    self.now,
+                    FlowId(1),
+                    &mut self.rng,
+                    &mut out,
+                    &mut self.timers,
+                    &mut self.signals,
+                );
+                self.tx.handle(&mut ctx, AgentEvent::Timer(token));
+                self.to_rx.extend(out);
+            }
+            if self.to_rx.is_empty() && self.to_tx.is_empty() && !self.tx.is_completed() {
+                if let Some(&(t, _)) = self.timers.iter().min_by_key(|(t, _)| *t) {
+                    self.now = t;
+                }
+            }
+        }
+
+        fn run(&mut self, max_rounds: usize, mut drop: impl FnMut(&Packet) -> bool) {
+            self.start();
+            for _ in 0..max_rounds {
+                if self.tx.is_completed() {
+                    break;
+                }
+                self.round(&mut drop);
+            }
+        }
+    }
+
+    #[test]
+    fn mice_are_replicated_over_two_connections() {
+        let mut l = Loop::new(RepFlowConfig::default(), 70_000, 4);
+        assert!(l.tx.is_replicated());
+        l.run(2_000, |_| false);
+        assert!(l.tx.is_completed());
+        assert_eq!(l.tx.acked_bytes(), 70_000);
+        // Both replicas carried data, on distinct source ports.
+        let replicas = l.tx.replicas();
+        assert_eq!(replicas.len(), 2);
+        for sf in &replicas {
+            assert!(sf.counters().data_bytes_sent > 0);
+        }
+        assert_ne!(replicas[0].src_port(), replicas[1].src_port());
+        // The wire carried more than the flow size; the overhead is reported.
+        assert!(l.tx.total_bytes_sent() > 70_000);
+        let redundant = l
+            .signals
+            .iter()
+            .find_map(|s| match s {
+                Signal::RedundantBytes { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .expect("redundant-bytes signal must be emitted on completion");
+        assert_eq!(redundant, l.tx.total_bytes_sent() - 70_000);
+    }
+
+    #[test]
+    fn completes_at_first_full_delivery_despite_a_dead_replica() {
+        // Replica 1's data never arrives: the flow must still complete via
+        // replica 0, and the dead copy must not keep retransmitting after.
+        let mut l = Loop::new(RepFlowConfig::default(), 70_000, 4);
+        l.run(4_000, |p: &Packet| {
+            p.kind == PacketKind::Data && p.subflow == 1
+        });
+        assert!(l.tx.is_completed());
+        let completions = l
+            .signals
+            .iter()
+            .filter(|s| matches!(s, Signal::FlowCompleted { .. }))
+            .count();
+        assert_eq!(completions, 1);
+        // The losing replica was aborted: firing every remaining timer
+        // produces no packets.
+        let timers = std::mem::take(&mut l.timers);
+        let mut out = Vec::new();
+        for (_, token) in timers {
+            let mut ctx = AgentCtx::new(
+                l.now + SimDuration::from_secs(10),
+                FlowId(1),
+                &mut l.rng,
+                &mut out,
+                &mut l.timers,
+                &mut l.signals,
+            );
+            l.tx.handle(&mut ctx, AgentEvent::Timer(token));
+        }
+        assert!(out.is_empty(), "aborted replica must stay silent");
+    }
+
+    #[test]
+    fn the_boundary_flow_is_still_a_mouse() {
+        // Exactly-threshold flows are mice (size <= threshold), matching the
+        // report layer's mice classification — no flow may be counted in the
+        // mice tail yet denied replication.
+        let l = Loop::new(RepFlowConfig::default(), 100_000, 4);
+        assert!(l.tx.is_replicated());
+        let l = Loop::new(RepFlowConfig::default(), 100_001, 4);
+        assert!(!l.tx.is_replicated());
+    }
+
+    #[test]
+    fn elephants_are_not_replicated() {
+        let l = Loop::new(RepFlowConfig::default(), 500_000, 4);
+        assert!(
+            !l.tx.is_replicated(),
+            "500 KB is above the 100 KB threshold"
+        );
+        let mut l = Loop::new(RepFlowConfig::default(), 500_000, 4);
+        l.run(5_000, |_| false);
+        assert!(l.tx.is_completed());
+        // Exactly the flow's bytes were sent (no losses in this harness).
+        assert_eq!(l.tx.total_bytes_sent(), 500_000);
+    }
+
+    #[test]
+    fn single_path_pairs_fall_back_to_one_connection() {
+        let l = Loop::new(RepFlowConfig::default(), 70_000, 1);
+        assert!(
+            !l.tx.is_replicated(),
+            "replication over one path is pure overhead"
+        );
+    }
+
+    #[test]
+    fn unbounded_flows_are_never_replicated() {
+        let tx = RepFlowSender::new(
+            RepFlowConfig::default(),
+            FlowId(1),
+            Addr(0),
+            Addr(1),
+            50_000,
+            80,
+            None,
+            8,
+        );
+        assert!(!tx.is_replicated());
+    }
+
+    #[test]
+    fn repsyn_caps_the_loser_at_one_initial_window() {
+        let mut l = Loop::new(RepFlowConfig::repsyn(), 70_000, 4);
+        assert!(l.tx.is_replicated());
+        l.run(2_000, |_| false);
+        assert!(l.tx.is_completed());
+        let winner = l.tx.primary().expect("a replica must have established");
+        let loser = 1 - winner;
+        let first_window = TransportConfig::default().initial_cwnd_bytes() as u64;
+        let sent = l.tx.replicas()[loser].counters().data_bytes_sent;
+        assert!(
+            sent <= first_window,
+            "loser sent {sent} > one initial window {first_window}"
+        );
+        // The winner carried the whole flow.
+        assert!(l.tx.replicas()[winner].counters().data_bytes_sent >= 70_000);
+    }
+
+    #[test]
+    fn repsyn_masks_a_lost_initial_syn() {
+        // Plain TCP pays a full initial RTO (1 s) for a lost SYN; RepSYN's
+        // second SYN wins the race instead.
+        let mut dropped = false;
+        let mut l = Loop::new(RepFlowConfig::repsyn(), 70_000, 4);
+        l.run(2_000, |p: &Packet| {
+            if !dropped && p.kind == PacketKind::Syn && p.subflow == 0 {
+                dropped = true;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(l.tx.is_completed());
+        assert_eq!(l.tx.primary(), Some(1), "replica 1 must win the race");
+        let elapsed = l.now - SimTime::from_millis(1);
+        assert!(
+            elapsed < SimDuration::from_millis(900),
+            "completion must not wait for the 1 s initial RTO (took {elapsed})"
+        );
+    }
+
+    #[test]
+    fn loss_on_one_path_does_not_stall_completion() {
+        // Drop every 7th data packet of replica 0 only: replica 1's clean
+        // copy completes the flow without waiting for recovery on replica 0.
+        let mut count = 0usize;
+        let mut l = Loop::new(RepFlowConfig::default(), 70_000, 4);
+        l.run(4_000, |p: &Packet| {
+            if p.kind == PacketKind::Data && p.subflow == 0 {
+                count += 1;
+                count.is_multiple_of(7)
+            } else {
+                false
+            }
+        });
+        assert!(l.tx.is_completed());
+        assert_eq!(l.tx.acked_bytes(), 70_000);
+    }
+
+    #[test]
+    fn config_presets() {
+        let d = RepFlowConfig::default();
+        assert_eq!(d.replication_threshold, 100_000);
+        assert!(!d.syn_only);
+        assert!(RepFlowConfig::repsyn().syn_only);
+    }
+}

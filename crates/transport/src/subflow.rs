@@ -319,6 +319,20 @@ impl Subflow {
         }
     }
 
+    /// Abort the subflow: forget every unacknowledged mapping and cancel the
+    /// retransmission timer, leaving the subflow quiescent. RepFlow-style
+    /// transports use this to silence the losing replica once the connection
+    /// has completed through the other one — without an abort the laggard
+    /// would keep retransmitting (and firing RTO signals) for data nobody
+    /// needs any more.
+    pub fn abort(&mut self) {
+        self.mappings.clear();
+        self.snd_una = self.snd_nxt;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.cancel_timer();
+    }
+
     // --- timers -----------------------------------------------------------
 
     /// Encode this subflow's timer token (subflow index in the top bits,

@@ -119,6 +119,12 @@ impl TcpSender {
                     at: ctx.now(),
                     bytes: total,
                 });
+                crate::signal_redundant_bytes(
+                    ctx,
+                    self.flow,
+                    self.subflow.counters().data_bytes_sent,
+                    total,
+                );
             }
         }
     }
@@ -156,6 +162,14 @@ impl Agent for TcpSender {
                         at: ctx.now(),
                         bytes: self.data_acked,
                     });
+                    if self.total.is_some() {
+                        crate::signal_redundant_bytes(
+                            ctx,
+                            self.flow,
+                            self.subflow.counters().data_bytes_sent,
+                            self.data_acked,
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,395 @@
+//! The cross-transport conformance layer: invariants every transport (and
+//! every future transport) must satisfy, checked end-to-end on the real
+//! simulator.
+//!
+//! * **Conservation**: packets injected into the fabric are exactly
+//!   delivered + dropped + still-in-network, and completed flows delivered
+//!   exactly their size — for every catalog scenario at fast fidelity,
+//!   across a spread of seeds (the release-profile `scenarios conserve`
+//!   subcommand sweeps 16+ seeds per scenario in CI).
+//! * **Differential**: MMPTCP in its packet-scatter phase is byte-for-byte
+//!   the packet-scatter-only ablation until the phase switch.
+//! * **Degeneracy**: on a single-path dumbbell with zero loss, every
+//!   transport collapses to plain TCP's completion time exactly (±0) —
+//!   multi-path machinery must cost nothing when there are no paths to use.
+
+use mmptcp::prelude::*;
+use mmptcp::scenario::{catalog, Fidelity};
+use netsim::{Agent as _, Packet};
+use netsim::{AgentCtx, AgentEvent, PathPolicy, SimRng};
+use transport::{MmptcpConfig, MmptcpSender};
+
+/// Conservation across the catalog: the first fast config of every scenario,
+/// two distinct seeds each (seeds never repeat across scenarios, so the
+/// sweep covers well over 16 seeds in total; the CI `scenarios conserve`
+/// job extends this to 16 seeds per scenario at release speed).
+#[test]
+fn conservation_laws_hold_across_the_catalog() {
+    let mut configs = Vec::new();
+    for (i, s) in catalog().iter().enumerate() {
+        let mut expanded = s.configs(Fidelity::Fast);
+        assert!(!expanded.is_empty());
+        let (label, cfg) = expanded.swap_remove(0);
+        for k in 0..2u64 {
+            let seed = 1 + (i as u64) * 2 + k;
+            let mut c = cfg.clone();
+            c.seed = seed;
+            configs.push((format!("{} / {label} seed={seed}", s.name), c));
+        }
+    }
+    assert!(
+        configs.len() >= 16,
+        "the sweep must span at least 16 seeded runs"
+    );
+    let results = Driver::new().run_labelled(configs);
+    for (label, r) in &results {
+        r.check_conservation()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        // The audit itself must be meaningful: something was injected.
+        assert!(
+            r.counters.delivered_to_hosts > 0,
+            "{label}: no packets delivered?"
+        );
+    }
+}
+
+/// Minimal deterministic transport harness: drives one sender against the
+/// shared receiver over an ideal network and records every packet the sender
+/// emits, in order, with its emission time.
+struct RecordedRun {
+    sent: Vec<(SimTime, Packet)>,
+    switch_signal: Option<SimTime>,
+}
+
+fn drive_mmptcp(cfg: MmptcpConfig, total: u64, rounds: usize) -> RecordedRun {
+    let flow = netsim::FlowId(1);
+    let mut tx = MmptcpSender::new(cfg, flow, Addr(0), Addr(1), 50_000, 80, Some(total));
+    let mut rx = transport::TransportReceiver::new(flow);
+    let mut rng = SimRng::new(5);
+    let mut timers: Vec<(SimTime, u64)> = Vec::new();
+    let mut signals: Vec<netsim::Signal> = Vec::new();
+    let mut now = SimTime::from_millis(1);
+    let mut to_rx: Vec<Packet> = Vec::new();
+    let mut to_tx: Vec<Packet> = Vec::new();
+    let mut sent: Vec<(SimTime, Packet)> = Vec::new();
+
+    {
+        let mut out = Vec::new();
+        let mut ctx = AgentCtx::new(now, flow, &mut rng, &mut out, &mut timers, &mut signals);
+        tx.handle(&mut ctx, AgentEvent::Start);
+        sent.extend(out.iter().map(|p| (now, p.clone())));
+        to_rx.extend(out);
+    }
+    for _ in 0..rounds {
+        if tx.is_completed() {
+            break;
+        }
+        now += SimDuration::from_micros(100);
+        let mut acks = Vec::new();
+        for pkt in std::mem::take(&mut to_rx) {
+            let mut ctx = AgentCtx::new(now, flow, &mut rng, &mut acks, &mut timers, &mut signals);
+            rx.handle(&mut ctx, AgentEvent::Packet(pkt));
+        }
+        to_tx.extend(acks);
+        now += SimDuration::from_micros(100);
+        let mut out = Vec::new();
+        for pkt in std::mem::take(&mut to_tx) {
+            let mut ctx = AgentCtx::new(now, flow, &mut rng, &mut out, &mut timers, &mut signals);
+            tx.handle(&mut ctx, AgentEvent::Packet(pkt));
+        }
+        sent.extend(out.iter().map(|p| (now, p.clone())));
+        to_rx.extend(out);
+        let due: Vec<(SimTime, u64)> = timers.iter().copied().filter(|(t, _)| *t <= now).collect();
+        timers.retain(|(t, _)| *t > now);
+        for (_, token) in due {
+            let mut out = Vec::new();
+            let mut ctx = AgentCtx::new(now, flow, &mut rng, &mut out, &mut timers, &mut signals);
+            tx.handle(&mut ctx, AgentEvent::Timer(token));
+            sent.extend(out.iter().map(|p| (now, p.clone())));
+            to_rx.extend(out);
+        }
+    }
+    let switch_signal = signals.iter().find_map(|s| match s {
+        netsim::Signal::PhaseSwitched { at, .. } => Some(*at),
+        _ => None,
+    });
+    RecordedRun {
+        sent,
+        switch_signal,
+    }
+}
+
+/// Differential conformance: an MMPTCP connection in its packet-scatter
+/// phase must be *indistinguishable* from the packet-scatter-only ablation —
+/// identical packets (ports, sequence numbers, timing) up to the instant the
+/// phase switch fires. The PS phase is not "roughly" packet scatter, it IS
+/// packet scatter.
+#[test]
+fn mmptcp_packet_scatter_phase_equals_the_ps_only_ablation() {
+    let total = 600_000u64; // well beyond the 210 KB switch threshold
+    let hybrid = drive_mmptcp(MmptcpConfig::default(), total, 4_000);
+    let ps_only = drive_mmptcp(MmptcpConfig::packet_scatter_only(), total, 4_000);
+
+    let switch_at = hybrid
+        .switch_signal
+        .expect("a 600 KB flow must switch phase");
+    assert!(
+        ps_only.switch_signal.is_none(),
+        "the ablation never switches"
+    );
+
+    // Everything the hybrid sender emitted on the scatter flow before the
+    // switch instant must equal the ablation's stream, packet for packet.
+    let prefix: Vec<&(SimTime, Packet)> = hybrid
+        .sent
+        .iter()
+        .take_while(|(at, p)| *at < switch_at && p.subflow == 0)
+        .collect();
+    assert!(
+        prefix.len() > 50,
+        "the PS phase must have carried a substantial stream ({} pkts)",
+        prefix.len()
+    );
+    assert!(
+        ps_only.sent.len() >= prefix.len(),
+        "ablation sent fewer packets ({}) than the hybrid's PS phase ({})",
+        ps_only.sent.len(),
+        prefix.len()
+    );
+    for (i, ((at_a, pkt_a), (at_b, pkt_b))) in prefix.iter().zip(ps_only.sent.iter()).enumerate() {
+        assert_eq!(at_a, at_b, "packet {i}: emission times diverge");
+        assert_eq!(pkt_a, pkt_b, "packet {i}: contents diverge");
+    }
+}
+
+/// One bounded flow crossing the dumbbell bottleneck.
+fn dumbbell_flow(protocol: Protocol, bytes: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologySpec::Dumbbell(DumbbellConfig::default()),
+        workload: WorkloadSpec::Custom(vec![FlowSpec::new(
+            0,
+            Addr(0),
+            Addr(2),
+            Some(bytes),
+            SimTime::from_millis(1),
+            FlowClass::Short,
+        )]),
+        protocol,
+        seed: 11,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Degeneracy conformance: on a single-path topology under zero loss, every
+/// transport's completion time equals plain TCP's *exactly*. Multi-path
+/// machinery (subflow scheduling, packet scatter, replication) must add
+/// nothing when there is nothing to exploit: scatter hashes onto the only
+/// path, MPTCP-1 is one subflow, RepFlow/RepSYN see path_count == 1 and do
+/// not replicate, DCTCP/D²TCP see no ECN marks without queue build-up.
+#[test]
+fn every_transport_degenerates_to_plain_tcp_on_a_single_path_dumbbell() {
+    let bytes = 70_000;
+    let baseline = mmptcp::run(dumbbell_flow(Protocol::Tcp, bytes));
+    assert!(baseline.all_short_completed);
+    assert_eq!(baseline.loss.total_dropped(), 0, "the premise is zero loss");
+    let tcp_fct = baseline.short_fcts_ms()[0];
+
+    for protocol in [
+        Protocol::Dctcp,
+        Protocol::D2tcp,
+        Protocol::Mptcp { subflows: 1 },
+        Protocol::PacketScatter,
+        Protocol::mmptcp_default(),
+        Protocol::repflow(),
+        Protocol::repsyn(),
+    ] {
+        let r = mmptcp::run(dumbbell_flow(protocol, bytes));
+        assert!(r.all_short_completed, "{protocol:?} did not complete");
+        assert_eq!(r.loss.total_dropped(), 0, "{protocol:?} saw drops");
+        let fct = r.short_fcts_ms()[0];
+        assert_eq!(
+            fct, tcp_fct,
+            "{protocol:?} FCT {fct} ms != TCP {tcp_fct} ms on a single path"
+        );
+        r.check_conservation()
+            .unwrap_or_else(|e| panic!("{protocol:?}: {e}"));
+    }
+}
+
+/// One battle-matrix run extracted from the golden document.
+struct GoldenRun {
+    label: String,
+    mice_p99_ms: f64,
+    long_goodput_gbps: f64,
+}
+
+/// Parse the canonical battle-matrix golden snapshot (fixed key order, one
+/// key per line) into per-run records.
+fn parse_battle_matrix_golden() -> Vec<GoldenRun> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/battle-matrix.json"
+    );
+    let doc = std::fs::read_to_string(path).expect("battle-matrix golden must exist");
+    let field = |chunk: &str, key: &str, skip: usize| -> f64 {
+        chunk
+            .match_indices(&format!("\"{key}\": "))
+            .nth(skip)
+            .map(|(i, m)| {
+                let rest = &chunk[i + m.len()..];
+                let end = rest.find([',', '\n']).unwrap_or(rest.len());
+                rest[..end].parse::<f64>().unwrap_or(f64::NAN)
+            })
+            .unwrap_or(f64::NAN)
+    };
+    doc.split("\"label\": \"")
+        .skip(1)
+        .map(|chunk| {
+            let label = chunk[..chunk.find('"').unwrap()].to_string();
+            GoldenRun {
+                label,
+                // Key order is canonical: short_fct's p99 first, mice_fct's
+                // second.
+                mice_p99_ms: field(chunk, "p99_ms", 1),
+                long_goodput_gbps: field(chunk, "long_goodput_gbps", 0),
+            }
+        })
+        .collect()
+}
+
+/// The battleground's headline, as pinned by the golden snapshot (which the
+/// CI golden job keeps equal to actual behaviour): RepFlow beats single-path
+/// TCP on mice p99 FCT in every cell at load <= 0.6, while MMPTCP holds
+/// aggregate long-flow goodput within 5% of MPTCP across the matrix.
+#[test]
+fn battle_matrix_golden_witnesses_the_headline_claims() {
+    let runs = parse_battle_matrix_golden();
+    assert_eq!(
+        runs.len(),
+        40,
+        "5 variants x 2 workloads x 2 loads x 2 seeds"
+    );
+
+    let cell_of = |label: &str| -> String {
+        label
+            .split_once(" | ")
+            .map(|(_, rest)| rest.to_string())
+            .expect("label format: variant | workload @ load L seed=S")
+    };
+    let by_variant = |variant: &str| -> Vec<&GoldenRun> {
+        runs.iter()
+            .filter(|r| r.label.split(" | ").next() == Some(variant))
+            .collect()
+    };
+
+    // RepFlow vs TCP, mice p99, cell by cell (every fast load is <= 0.6).
+    let tcp = by_variant("tcp");
+    let repflow = by_variant("repflow");
+    assert_eq!(tcp.len(), 8);
+    assert_eq!(repflow.len(), 8);
+    for t in &tcp {
+        let cell = cell_of(&t.label);
+        let r = repflow
+            .iter()
+            .find(|r| cell_of(&r.label) == cell)
+            .unwrap_or_else(|| panic!("no repflow run for cell {cell}"));
+        assert!(
+            r.mice_p99_ms < t.mice_p99_ms,
+            "repflow mice p99 {} must beat tcp {} in cell {cell}",
+            r.mice_p99_ms,
+            t.mice_p99_ms
+        );
+    }
+
+    // MMPTCP vs MPTCP, aggregate long-flow goodput across the matrix.
+    let sum = |v: &[&GoldenRun]| -> f64 { v.iter().map(|r| r.long_goodput_gbps).sum() };
+    let mmptcp = sum(&by_variant("mmptcp-8"));
+    let mptcp = sum(&by_variant("mptcp-8"));
+    assert!(mptcp > 0.0);
+    assert!(
+        mmptcp >= 0.95 * mptcp,
+        "mmptcp aggregate long goodput {mmptcp:.3} Gbps must stay within 5% of mptcp {mptcp:.3}"
+    );
+}
+
+/// Link failure × size-aware routing: on the fig-style fat-tree with 25% of
+/// the aggregation→core uplinks withdrawn, DiffFlow's pinned elephants must
+/// re-pin onto surviving links (stateless hash % group-size) — no flow may
+/// strand, blackhole (no-route) or over/under-deliver.
+#[test]
+fn diffflow_link_failure_never_strands_a_pinned_elephant() {
+    let mut flows = Vec::new();
+    // Inter-pod elephants (well above the 100 KB pin threshold) and a few
+    // mice sharing the degraded fabric.
+    for (i, (src, dst, bytes)) in [
+        (0u32, 8u32, 600_000u64),
+        (1, 12, 600_000),
+        (4, 13, 500_000),
+        (5, 9, 70_000),
+        (2, 14, 70_000),
+    ]
+    .iter()
+    .enumerate()
+    {
+        flows.push(FlowSpec::new(
+            i as u64,
+            Addr(*src),
+            Addr(*dst),
+            Some(*bytes),
+            SimTime::from_millis(1),
+            FlowClass::Short,
+        ));
+    }
+    let cfg = ExperimentConfig {
+        topology: TopologySpec::FatTree(FatTreeConfig {
+            failures: LinkFailureSpec::agg_core(250, 42),
+            ..FatTreeConfig::small()
+        }),
+        workload: WorkloadSpec::Custom(flows),
+        protocol: Protocol::Tcp,
+        path_policy: PathPolicy::diffflow_default(),
+        seed: 3,
+        ..ExperimentConfig::default()
+    };
+    let r = mmptcp::run(cfg);
+    assert!(
+        r.all_short_completed,
+        "a pinned elephant stranded on the degraded fabric"
+    );
+    assert_eq!(r.audit.no_route, 0, "no packet may be blackholed");
+    r.check_conservation().expect("conservation under failures");
+}
+
+/// The same degraded fabric under every spraying policy: completion and
+/// conservation hold regardless of how the fabric spreads packets.
+#[test]
+fn all_path_policies_survive_link_failures() {
+    for policy in [
+        PathPolicy::FlowHash,
+        PathPolicy::PerPacketScatter,
+        PathPolicy::diffflow_default(),
+    ] {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::FatTree(FatTreeConfig {
+                failures: LinkFailureSpec::agg_core(125, 7),
+                ..FatTreeConfig::small()
+            }),
+            workload: WorkloadSpec::Custom(vec![FlowSpec::new(
+                0,
+                Addr(0),
+                Addr(12),
+                Some(300_000),
+                SimTime::from_millis(1),
+                FlowClass::Short,
+            )]),
+            protocol: Protocol::Tcp,
+            path_policy: policy,
+            seed: 9,
+            ..ExperimentConfig::default()
+        };
+        let r = mmptcp::run(cfg);
+        assert!(r.all_short_completed, "{policy:?} stranded the flow");
+        r.check_conservation()
+            .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+    }
+}
