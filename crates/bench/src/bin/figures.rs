@@ -1,0 +1,418 @@
+//! Render the paper's headline plots as gnuplot-ready `.dat` + `.gp` pairs.
+//!
+//! Three figure families, written under `target/figures/`:
+//!
+//! * **fig1a_fct_vs_subflows** — short-flow FCT versus MPTCP subflow count,
+//!   read from the committed golden snapshot `tests/golden/fig1a.json`
+//!   (no simulation needed: the goldens *are* the blessed numbers);
+//! * **fct_vs_load** — short-flow p99 FCT versus offered load per protocol,
+//!   from `tests/golden/load-sweep.json`;
+//! * **cwnd_switch** — a traced MMPTCP run (the `fig1bc` Figure-1(c)
+//!   configuration) showing each subflow's congestion window over time with
+//!   the packet-scatter→MPTCP switch instant marked;
+//! * **queue_heat** — a traced `hotspot` run's per-link queue-depth series
+//!   as a time × link heat map.
+//!
+//! The golden snapshots are canonical JSON rendered by `metrics::report`
+//! (fixed key order, one field per line), so the extractor here is a tiny
+//! line-oriented scan, not a JSON parser — consistent with the offline
+//! workspace's no-dependency rule.
+//!
+//! Usage: `figures [--out DIR]` (default `target/figures`). Render with
+//! `gnuplot <name>.gp`; every script writes `<name>.png` next to its data.
+
+use metrics::trace::{FlowSelect, TraceConfig, TraceEventKind, TraceSettings};
+use mmptcp::scenario::{find, Fidelity};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn default_out_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/figures")
+}
+
+// --- canonical-golden extraction ----------------------------------------
+
+/// Split a canonical `ScenarioReport` JSON document into per-run chunks:
+/// `(label, chunk text up to the next run)`.
+fn run_chunks(json: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let parts: Vec<&str> = json.split("\"label\": \"").collect();
+    for part in &parts[1..] {
+        let Some(label_end) = part.find('"') else {
+            continue;
+        };
+        // `part` came from splitting on the label delimiter, so everything
+        // after the label's closing quote is this run's chunk.
+        let label = part[..label_end].to_string();
+        out.push((label, part[label_end..].to_string()));
+    }
+    out
+}
+
+/// Extract `"<field>": <number>` from the `"<object>": { ... }` block of a
+/// run chunk (canonical rendering: one field per line, fixed order).
+fn field_f64(chunk: &str, object: &str, field: &str) -> Option<f64> {
+    let obj_key = format!("\"{object}\": {{");
+    let start = chunk.find(&obj_key)? + obj_key.len();
+    let block = &chunk[start..chunk[start..].find('}').map(|e| start + e)?];
+    let field_key = format!("\"{field}\": ");
+    let fstart = block.find(&field_key)? + field_key.len();
+    let rest = &block[fstart..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+// --- figure writers ------------------------------------------------------
+
+fn write(out_dir: &Path, name: &str, contents: String) -> std::io::Result<()> {
+    let path = out_dir.join(name);
+    std::fs::write(&path, contents)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Figure 1(a) from the committed golden: FCT vs subflow count.
+fn fig1a(out_dir: &Path) -> std::io::Result<bool> {
+    let Ok(json) = std::fs::read_to_string(golden_dir().join("fig1a.json")) else {
+        eprintln!("skipping fig1a figure: tests/golden/fig1a.json missing");
+        return Ok(false);
+    };
+    let mut dat = String::from("# subflows  mean_ms  p99_ms   (from tests/golden/fig1a.json)\n");
+    for (label, chunk) in run_chunks(&json) {
+        let Some(n) = label
+            .strip_prefix("mptcp-")
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let mean = field_f64(&chunk, "short_fct", "mean_ms").unwrap_or(f64::NAN);
+        let p99 = field_f64(&chunk, "short_fct", "p99_ms").unwrap_or(f64::NAN);
+        dat.push_str(&format!("{n} {mean} {p99}\n"));
+    }
+    write(out_dir, "fig1a_fct_vs_subflows.dat", dat)?;
+    write(
+        out_dir,
+        "fig1a_fct_vs_subflows.gp",
+        concat!(
+            "set terminal png size 800,600\n",
+            "set output 'fig1a_fct_vs_subflows.png'\n",
+            "set title 'Short-flow FCT vs MPTCP subflow count (golden fig1a)'\n",
+            "set xlabel 'subflows'\nset ylabel 'FCT (ms)'\nset key top left\nset grid\n",
+            "plot 'fig1a_fct_vs_subflows.dat' using 1:2 with linespoints title 'mean', \\\n",
+            "     '' using 1:3 with linespoints title 'p99'\n",
+        )
+        .to_string(),
+    )?;
+    Ok(true)
+}
+
+/// FCT-vs-load curves from the load-sweep golden: one column per protocol,
+/// x = Poisson mean inter-arrival (smaller = heavier load).
+fn fct_vs_load(out_dir: &Path) -> std::io::Result<bool> {
+    let Ok(json) = std::fs::read_to_string(golden_dir().join("load-sweep.json")) else {
+        eprintln!("skipping fct_vs_load figure: tests/golden/load-sweep.json missing");
+        return Ok(false);
+    };
+    // Labels look like "tcp @ 40 ms": collect protocols and loads in first-
+    // appearance order, then emit a column per protocol.
+    let mut protocols: Vec<String> = Vec::new();
+    let mut loads: Vec<u64> = Vec::new();
+    let mut cells: Vec<(String, u64, f64)> = Vec::new();
+    for (label, chunk) in run_chunks(&json) {
+        let Some((proto, rest)) = label.split_once(" @ ") else {
+            continue;
+        };
+        let Some(ms) = rest.strip_suffix(" ms").and_then(|s| s.parse::<u64>().ok()) else {
+            continue;
+        };
+        let p99 = field_f64(&chunk, "short_fct", "p99_ms").unwrap_or(f64::NAN);
+        if !protocols.iter().any(|p| p == proto) {
+            protocols.push(proto.to_string());
+        }
+        if !loads.contains(&ms) {
+            loads.push(ms);
+        }
+        cells.push((proto.to_string(), ms, p99));
+    }
+    loads.sort_unstable_by(|a, b| b.cmp(a)); // lightest load first
+    let mut dat = format!(
+        "# interarrival_ms  {}   (short-flow p99 ms, from tests/golden/load-sweep.json)\n",
+        protocols.join("  ")
+    );
+    for &ms in &loads {
+        dat.push_str(&format!("{ms}"));
+        for proto in &protocols {
+            let v = cells
+                .iter()
+                .find(|(p, l, _)| p == proto && *l == ms)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(f64::NAN);
+            dat.push_str(&format!(" {v}"));
+        }
+        dat.push('\n');
+    }
+    let mut gp = String::from(concat!(
+        "set terminal png size 800,600\n",
+        "set output 'fct_vs_load.png'\n",
+        "set title 'Short-flow p99 FCT vs offered load (golden load-sweep)'\n",
+        "set xlabel 'Poisson mean inter-arrival (ms; left = heavier load)'\n",
+        "set ylabel 'p99 FCT (ms)'\nset key top right\nset grid\n",
+        "plot ",
+    ));
+    for (i, proto) in protocols.iter().enumerate() {
+        if i > 0 {
+            gp.push_str(", \\\n     ");
+        }
+        gp.push_str(&format!(
+            "'fct_vs_load.dat' using 1:{} with linespoints title '{proto}'",
+            i + 2
+        ));
+    }
+    gp.push('\n');
+    write(out_dir, "fct_vs_load.dat", dat)?;
+    write(out_dir, "fct_vs_load.gp", gp)?;
+    Ok(true)
+}
+
+/// Traced MMPTCP run: per-subflow cwnd series with the PS→MPTCP switch
+/// instant marked. Uses the Figure-1(c) configuration from `fig1bc`.
+fn cwnd_switch(out_dir: &Path) -> std::io::Result<bool> {
+    let scenario = find("fig1bc").expect("fig1bc is in the catalog");
+    let Some((label, mut config)) = scenario
+        .configs(Fidelity::Fast)
+        .into_iter()
+        .find(|(label, _)| label.contains("mmptcp"))
+    else {
+        eprintln!("skipping cwnd_switch figure: no mmptcp config in fig1bc");
+        return Ok(false);
+    };
+    config.trace = TraceConfig::On(TraceSettings {
+        flows: FlowSelect::All,
+        ..TraceSettings::default()
+    });
+    println!("running traced '{label}' for the cwnd-switch figure...");
+    let results = mmptcp::run(config);
+    let sink = results.trace.as_ref().expect("traced run carries a sink");
+    // The flow whose series we plot: the first one that switched phase.
+    let Some(switch) = sink
+        .events()
+        .iter()
+        .find(|e| e.kind == TraceEventKind::PhaseSwitch)
+        .copied()
+    else {
+        eprintln!("skipping cwnd_switch figure: no flow switched phase");
+        return Ok(false);
+    };
+    let subflows: Vec<u8> = sink
+        .flow_keys()
+        .iter()
+        .filter(|(f, _)| *f == switch.flow)
+        .map(|(_, s)| *s)
+        .collect();
+    let mut dat = format!(
+        "# traced run: {label}; flow {} switched PS->MPTCP at {:.4} ms\n\
+         # one index block per subflow (0 = packet-scatter flow): t_ms cwnd_bytes outstanding_bytes\n",
+        switch.flow,
+        switch.at.as_millis_f64()
+    );
+    for &sf in &subflows {
+        let series = sink.flow_series(switch.flow, sf).expect("keyed series");
+        dat.push_str(&format!("# subflow {sf}\n"));
+        for p in series.items() {
+            dat.push_str(&format!(
+                "{:.6} {} {}\n",
+                p.at.as_millis_f64(),
+                p.cwnd,
+                p.outstanding
+            ));
+        }
+        dat.push_str("\n\n");
+    }
+    let mut gp = format!(
+        concat!(
+            "set terminal png size 900,600\n",
+            "set output 'cwnd_switch.png'\n",
+            "set title 'MMPTCP flow {flow}: subflow cwnd across the PS->MPTCP switch'\n",
+            "set xlabel 'time (ms)'\nset ylabel 'cwnd (bytes)'\nset key top left\nset grid\n",
+            "set arrow from {at}, graph 0 to {at}, graph 1 nohead dashtype 2 lc rgb 'red'\n",
+            "set label 'switch' at {at}, graph 0.95 offset 1,0 tc rgb 'red'\n",
+            "plot ",
+        ),
+        flow = switch.flow,
+        at = switch.at.as_millis_f64(),
+    );
+    for (i, sf) in subflows.iter().enumerate() {
+        if i > 0 {
+            gp.push_str(", \\\n     ");
+        }
+        let title = if *sf == 0 {
+            "packet-scatter".to_string()
+        } else {
+            format!("mptcp subflow {sf}")
+        };
+        gp.push_str(&format!(
+            "'cwnd_switch.dat' index {i} using 1:2 with steps title '{title}'"
+        ));
+    }
+    gp.push('\n');
+    write(out_dir, "cwnd_switch.dat", dat)?;
+    write(out_dir, "cwnd_switch.gp", gp)?;
+    Ok(true)
+}
+
+/// Traced hotspot run: per-link queue-depth series as time × link heat data.
+fn queue_heat(out_dir: &Path) -> std::io::Result<bool> {
+    let scenario = find("hotspot").expect("hotspot is in the catalog");
+    let Some((label, mut config)) = scenario
+        .configs(Fidelity::Fast)
+        .into_iter()
+        .find(|(label, _)| label.contains("hotspot") && label.contains("mmptcp"))
+    else {
+        eprintln!("skipping queue_heat figure: no mmptcp hotspot config");
+        return Ok(false);
+    };
+    config.trace = TraceConfig::On(TraceSettings {
+        links: true,
+        ..TraceSettings::default()
+    });
+    println!("running traced '{label}' for the queue-heat figure...");
+    let results = mmptcp::run(config);
+    let sink = results.trace.as_ref().expect("traced run carries a sink");
+    let mut dat = format!(
+        "# traced run: {label}\n# t_ms link_index depth_packets (blank line between link blocks)\n"
+    );
+    let mut links = 0usize;
+    let mut link = 0usize;
+    while let Some(series) = sink.link_series(link) {
+        for p in series.items() {
+            dat.push_str(&format!(
+                "{:.6} {link} {}\n",
+                p.at.as_millis_f64(),
+                p.depth_packets
+            ));
+        }
+        dat.push('\n');
+        links += 1;
+        link += 1;
+    }
+    let gp = format!(
+        concat!(
+            "set terminal png size 1000,700\n",
+            "set output 'queue_heat.png'\n",
+            "set title 'Queue depth over time, every link ({label})'\n",
+            "set xlabel 'time (ms)'\nset ylabel 'link index'\nset cblabel 'queue depth (packets)'\n",
+            "set view map\nset palette rgbformulae 22,13,-31\n",
+            "splot 'queue_heat.dat' using 1:2:3 with points pointtype 5 pointsize 0.5 palette notitle\n",
+        ),
+        label = label,
+    );
+    write(out_dir, "queue_heat.dat", dat)?;
+    write(out_dir, "queue_heat.gp", gp)?;
+    println!("queue_heat: {links} link blocks");
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = default_out_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("usage: figures [--out DIR]");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("usage: figures [--out DIR] (got '{other}')");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create figures dir");
+    let mut rendered = 0;
+    for result in [
+        fig1a(&out_dir),
+        fct_vs_load(&out_dir),
+        cwnd_switch(&out_dir),
+        queue_heat(&out_dir),
+    ] {
+        match result {
+            Ok(true) => rendered += 1,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("figure rendering failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "{rendered} figure(s) under {} — render with `gnuplot <name>.gp`",
+        out_dir.display()
+    );
+    if rendered > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\n  \"scenario\": \"load-sweep\",\n  \"fidelity\": \"fast\",\n  \"runs\": [\n",
+        "    {\n      \"label\": \"tcp @ 40 ms\",\n      \"short_fct\": {\n",
+        "      \"count\": 12,\n      \"mean_ms\": 3.5,\n      \"p50_ms\": 2.5,\n",
+        "      \"p95_ms\": 8,\n      \"p99_ms\": 9.75,\n      \"max_ms\": 11\n      },\n",
+        "      \"rtos\": 2\n    },\n",
+        "    {\n      \"label\": \"mmptcp-8 @ 40 ms\",\n      \"short_fct\": {\n",
+        "      \"count\": 12,\n      \"mean_ms\": 1.25,\n      \"p50_ms\": 1,\n",
+        "      \"p95_ms\": 2,\n      \"p99_ms\": 2.5,\n      \"max_ms\": 3\n      }\n    }\n",
+        "  ]\n}\n",
+    );
+
+    #[test]
+    fn run_chunks_split_on_labels() {
+        let chunks = run_chunks(SAMPLE);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].0, "tcp @ 40 ms");
+        assert_eq!(chunks[1].0, "mmptcp-8 @ 40 ms");
+        assert!(chunks[0].1.contains("short_fct"));
+        assert!(!chunks[0].1.contains("mmptcp-8"));
+    }
+
+    #[test]
+    fn field_extraction_reads_nested_scalars() {
+        let chunks = run_chunks(SAMPLE);
+        assert_eq!(field_f64(&chunks[0].1, "short_fct", "p99_ms"), Some(9.75));
+        assert_eq!(field_f64(&chunks[0].1, "short_fct", "mean_ms"), Some(3.5));
+        assert_eq!(field_f64(&chunks[1].1, "short_fct", "p99_ms"), Some(2.5));
+        assert_eq!(field_f64(&chunks[0].1, "missing", "p99_ms"), None);
+        assert_eq!(field_f64(&chunks[0].1, "short_fct", "nope"), None);
+    }
+
+    #[test]
+    fn extractor_handles_the_committed_goldens() {
+        // The real golden files must be extractable (they are the canonical
+        // rendering this parser is written against).
+        let json = std::fs::read_to_string(golden_dir().join("fig1a.json")).expect("golden");
+        let chunks = run_chunks(&json);
+        assert!(!chunks.is_empty());
+        for (label, chunk) in &chunks {
+            assert!(label.starts_with("mptcp-"), "{label}");
+            assert!(
+                field_f64(chunk, "short_fct", "p99_ms").is_some(),
+                "{label} lacks p99"
+            );
+        }
+    }
+}

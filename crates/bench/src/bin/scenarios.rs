@@ -8,11 +8,15 @@
 //! that is compared byte-for-byte against the snapshot in `tests/golden/`.
 //!
 //! Usage:
-//!   scenarios list
-//!   scenarios run <name>... [--full | --paper] [--seed N] [--threads N] [--json]
-//!   scenarios check [<name>...] [--threads N]       # a.k.a. `scenarios --check`
-//!   scenarios bless [<name>...] [--threads N]       # a.k.a. `scenarios --bless`
-//!   scenarios conserve [<name>...] [--seeds N] [--all-configs] [--threads N]
+//!
+//! ```text
+//! scenarios list
+//! scenarios run <name>... [--full | --paper] [--seed N] [--threads N] [--json]
+//! scenarios check [<name>...] [--threads N]       # a.k.a. `scenarios --check`
+//! scenarios bless [<name>...] [--threads N]       # a.k.a. `scenarios --bless`
+//! scenarios conserve [<name>...] [--seeds N] [--all-configs] [--threads N]
+//! scenarios trace <name>... [--flow ID] [--links] [--full | --paper] [--seed N] [--threads N]
+//! ```
 //!
 //! `--full` runs the 64-host benchmark scale the replaced binaries used by
 //! default; `--paper` the 512-server paper scale (their old `--full`).
@@ -32,6 +36,16 @@
 //! packets injected must equal delivered + dropped + still-in-network, and
 //! every completed bounded flow must have delivered exactly its size. CI
 //! runs this next to the golden check.
+//!
+//! `trace` runs the selected scenarios with the flight recorder on
+//! (`metrics::trace`) and writes the per-run time series under
+//! `target/traces/<scenario>/<run>/`: `flows.csv` (per-subflow cwnd / RTT /
+//! outstanding samples), `events.csv` (phase switches, RTOs, fast and
+//! spurious retransmits), `links.csv` with `--links` (queue depth, window
+//! deltas, utilisation per sample window) and a schema-documenting
+//! `manifest.json`. `--flow ID` restricts the flow series to one flow.
+//! Golden metrics are unaffected: tracing rides alongside the normal run
+//! and the `TraceConfig::Off` default never records anything.
 
 use bench::{summary_headers, summary_row};
 use metrics::{report, Table};
@@ -60,6 +74,8 @@ struct Options {
     seeds: u64,
     all_configs: bool,
     json: bool,
+    flow: Option<u64>,
+    links: bool,
 }
 
 enum Command {
@@ -68,16 +84,20 @@ enum Command {
     Check,
     Bless,
     Conserve,
+    Trace,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <list|run|check|bless|conserve> [<name>...] [--full | --paper] \
-         [--seed N] [--seeds N] [--all-configs] [--threads N] [--json]\n\
+        "usage: scenarios <list|run|check|bless|conserve|trace> [<name>...] [--full | --paper] \
+         [--seed N] [--seeds N] [--all-configs] [--threads N] [--json] [--flow ID] [--links]\n\
          flags --check / --bless select the corresponding command directly; check/bless \
          always run the pinned fast fidelity and reject --full/--paper/--seed;\n\
          conserve sweeps --seeds N seeds (default 16) over every scenario's first fast \
-         config (--all-configs: every config) and checks the conservation laws"
+         config (--all-configs: every config) and checks the conservation laws;\n\
+         trace re-runs the named scenarios with the flight recorder on and writes \
+         CSV/JSON series under target/traces/ (--links adds per-link series, \
+         --flow ID narrows the flow series to one flow)"
     );
     std::process::exit(2)
 }
@@ -95,6 +115,8 @@ fn parse_args() -> Options {
         seeds: 16,
         all_configs: false,
         json: false,
+        flow: None,
+        links: false,
     };
     let mut command = None;
     let mut args = std::env::args().skip(1).peekable();
@@ -105,9 +127,15 @@ fn parse_args() -> Options {
             "check" if command.is_none() => command = Some(Command::Check),
             "bless" if command.is_none() => command = Some(Command::Bless),
             "conserve" if command.is_none() => command = Some(Command::Conserve),
+            "trace" if command.is_none() => command = Some(Command::Trace),
             "--check" => command = Some(Command::Check),
             "--bless" => command = Some(Command::Bless),
             "--all-configs" => opts.all_configs = true,
+            "--links" => opts.links = true,
+            "--flow" => {
+                let Some(v) = args.next() else { usage() };
+                opts.flow = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--seeds" => {
                 let Some(v) = args.next() else { usage() };
                 opts.seeds = v.parse().unwrap_or_else(|_| usage());
@@ -334,6 +362,97 @@ fn cmd_conserve(opts: &Options) -> ExitCode {
     }
 }
 
+/// Where `trace` writes its per-run series directories.
+fn trace_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/traces")
+}
+
+/// File-system-safe directory name for one run label, prefixed with its
+/// config index so directory order matches the scenario's config order.
+fn sanitize_label(index: usize, label: &str) -> String {
+    let mut out = format!("{index:02}-");
+    let mut last_dash = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '.' {
+            out.push(c.to_ascii_lowercase());
+            last_dash = false;
+        } else if !last_dash {
+            out.push('-');
+            last_dash = true;
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+/// Flight-recorder sweep: run the selected scenarios with tracing on and
+/// write each run's CSV/JSON series under `target/traces/<scenario>/<run>/`.
+fn cmd_trace(opts: &Options) -> ExitCode {
+    if opts.names.is_empty() {
+        eprintln!("trace needs at least one scenario name; `scenarios list` shows the catalog");
+        return ExitCode::from(2);
+    }
+    let settings = metrics::TraceSettings {
+        flows: match opts.flow {
+            None => metrics::FlowSelect::All,
+            Some(id) => metrics::FlowSelect::One(id),
+        },
+        links: opts.links,
+        ..metrics::TraceSettings::default()
+    };
+    let mut empty = Vec::new();
+    for s in select(&opts.names, false) {
+        let mut configs = s.configs(opts.fidelity);
+        for (_, cfg) in configs.iter_mut() {
+            cfg.trace = metrics::TraceConfig::On(settings);
+            if let Some(seed) = opts.seed {
+                cfg.seed = seed;
+            }
+        }
+        let results = mmptcp::Driver::with_threads(opts.threads).run_labelled(configs);
+        let scenario_dir = trace_dir().join(s.name);
+        // Clear previous traces of this scenario so run directories from an
+        // earlier fidelity/flag combination cannot linger beside fresh ones.
+        if scenario_dir.exists() {
+            std::fs::remove_dir_all(&scenario_dir).expect("clear stale trace directory");
+        }
+        for (index, (label, r)) in results.iter().enumerate() {
+            let sink = r.trace.as_ref().expect("traced run must carry a sink");
+            let dir = scenario_dir.join(sanitize_label(index, label));
+            sink.write_dir(&dir, label).expect("write trace directory");
+            let switches = sink
+                .events()
+                .iter()
+                .filter(|e| e.kind == metrics::trace::TraceEventKind::PhaseSwitch)
+                .count();
+            println!(
+                "{}/{label}: {} flow series ({} samples), {} events ({} phase switches), \
+                 {} link series ({} samples) -> {}",
+                s.name,
+                sink.flow_keys().len(),
+                sink.flow_sample_count(),
+                sink.events().len(),
+                switches,
+                sink.link_count(),
+                sink.link_sample_count(),
+                dir.display(),
+            );
+            if sink.flow_sample_count() == 0 {
+                empty.push(format!("{}/{label}", s.name));
+            }
+        }
+    }
+    if empty.is_empty() {
+        println!(
+            "trace series written under {} (schema in each manifest.json)",
+            trace_dir().display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("runs with no flow samples: {}", empty.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     match opts.command {
@@ -342,5 +461,6 @@ fn main() -> ExitCode {
         Command::Check => cmd_check(&opts),
         Command::Bless => cmd_bless(&opts),
         Command::Conserve => cmd_conserve(&opts),
+        Command::Trace => cmd_trace(&opts),
     }
 }

@@ -5,7 +5,7 @@
 //! warm-up, repeated sampling, and a compact `min / median / max` report —
 //! with two additions the experiment benches want: per-benchmark iteration
 //! budgets (full simulations are too slow for time-targeted sampling) and a
-//! [`Comparison`] helper that prints the speedup between two benchmarks
+//! [`compare`] helper that prints the speedup between two benchmarks
 //! (used for the timing-wheel vs. binary-heap acceptance check).
 //!
 //! Benchmarks honour two environment variables:

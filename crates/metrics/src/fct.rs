@@ -59,6 +59,12 @@ impl FlowMetrics {
     /// Ingest a batch of signals.
     pub fn ingest<'a>(&mut self, signals: impl IntoIterator<Item = &'a Signal>) {
         for s in signals {
+            // Flight-recorder telemetry is the trace sink's input, not a
+            // flow-lifecycle event; skipping it before the entry() below
+            // keeps traced runs from growing phantom flow records.
+            if matches!(s, Signal::CwndSample { .. }) {
+                continue;
+            }
             let rec = self.records.entry(s.flow()).or_default();
             match s {
                 Signal::FlowStarted { at, .. } => rec.started = Some(*at),
@@ -84,6 +90,7 @@ impl FlowMetrics {
                         .push((*at, *bytes));
                 }
                 Signal::RedundantBytes { bytes, .. } => rec.redundant_bytes += bytes,
+                Signal::CwndSample { .. } => unreachable!("filtered above"),
             }
         }
     }

@@ -11,9 +11,12 @@
 //! * [`stats`] — summaries, percentiles and histograms;
 //! * [`report`] — canonical, deterministic JSON metrics documents (the
 //!   golden-snapshot contract of the scenario registry);
+//! * [`trace`] — the flight recorder: ring-buffered per-flow cwnd/RTT and
+//!   per-link queue/utilisation time series with a CSV/JSON export, behind
+//!   a zero-cost [`trace::TraceConfig::Off`] default;
 //! * [`table`] — the plain-text tables the benchmark harnesses print.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod fct;
@@ -21,6 +24,7 @@ pub mod netstats;
 pub mod report;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use fct::{FlowMetrics, FlowRecord};
 pub use netstats::{
@@ -29,3 +33,4 @@ pub use netstats::{
 pub use report::{FctDoc, RunReport, ScenarioReport, TierCounts};
 pub use stats::{percentile, percentile_sorted, Histogram, Summary};
 pub use table::{f2, f4, pct, Table};
+pub use trace::{FlowSelect, TraceConfig, TraceSettings, TraceSink};

@@ -1,5 +1,6 @@
 //! Experiment configuration: which topology, which workload, which transport.
 
+use metrics::trace::TraceConfig;
 use netsim::{PathPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use topology::{DumbbellConfig, FatTreeConfig, ParallelPathConfig, Vl2Config};
@@ -175,6 +176,12 @@ pub struct ExperimentConfig {
     pub max_sim_time: SimDuration,
     /// Interval at which the runner checks for completion and drains signals.
     pub progress_interval: SimDuration,
+    /// Flight-recorder telemetry: [`TraceConfig::Off`] (the default) records
+    /// nothing and leaves the run — including every golden metric —
+    /// byte-identical; `On` collects per-flow cwnd/RTT series, discrete flow
+    /// events and (optionally) per-link queue/utilisation series into
+    /// `ExperimentResults::trace`.
+    pub trace: TraceConfig,
     /// Fixed window over which long-flow goodput is measured (from time zero).
     /// `None` measures over the whole run, which makes runs of different
     /// lengths incomparable: a protocol whose short flows straggle keeps
@@ -197,6 +204,7 @@ impl Default for ExperimentConfig {
             seed: 1,
             max_sim_time: SimDuration::from_secs(20),
             progress_interval: SimDuration::from_millis(50),
+            trace: TraceConfig::Off,
             goodput_horizon: None,
         }
     }

@@ -4,7 +4,7 @@
 //! Every figure in the paper is an aggregate over many runs — seeds ×
 //! offered loads × protocols — and each run is an independent, seeded,
 //! single-threaded simulation. That makes the sweep embarrassingly parallel:
-//! the [`Driver`] hands each worker thread its own isolated [`Simulator`]
+//! the [`Driver`] hands each worker thread its own isolated [`netsim::Simulator`]
 //! (created inside [`crate::run`]), workers pull configurations from a shared
 //! index counter, and results are written back into the slot matching the
 //! configuration's position, so the output order is exactly the input order

@@ -4,6 +4,7 @@
 
 use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
 use crate::results::{ConservationAudit, ExperimentResults};
+use metrics::trace::{TraceConfig, TraceSink};
 use metrics::{loss_report, overall_utilisation, tier_utilisation, FlowMetrics};
 use netsim::{Addr, Agent, FlowId, PathPolicy, SimRng, SimTime, Simulator};
 use std::collections::HashSet;
@@ -201,6 +202,18 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
 
     let mut sim = Simulator::new(network, config.seed);
 
+    // Flight recorder: with tracing on, transports emit cwnd samples and
+    // (optionally) the loop below snapshots link telemetry. With the default
+    // `TraceConfig::Off` nothing here runs and the loop cadence is untouched,
+    // so untraced runs — and their golden metrics — stay byte-identical.
+    let mut trace_sink = match config.trace {
+        TraceConfig::Off => None,
+        TraceConfig::On(settings) => {
+            sim.set_flow_tracing(true);
+            Some(TraceSink::new(settings))
+        }
+    };
+
     // Install agents and schedule starts.
     let mut short_ids = HashSet::new();
     let mut long_ids = HashSet::new();
@@ -229,12 +242,22 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
     }
 
     // Run until every bounded flow completes (or the cap is hit), draining
-    // signals incrementally so memory stays flat.
+    // signals incrementally so memory stays flat. Link tracing tightens the
+    // tick to the telemetry cadence; otherwise it is the progress interval.
     let mut metrics = FlowMetrics::new();
     let cap = SimTime::ZERO + config.max_sim_time;
     let mut completed: HashSet<FlowId> = HashSet::new();
+    let tick = match &trace_sink {
+        Some(sink) if sink.links_enabled() => config.progress_interval.min(sink.sample_every()),
+        _ => config.progress_interval,
+    };
+    if let Some(sink) = trace_sink.as_mut() {
+        // Baseline link snapshot at time zero so the first window's deltas
+        // measure from the start of the run.
+        sink.sample_links(sim.now(), sim.network());
+    }
     loop {
-        let next = (sim.now() + config.progress_interval).min(cap);
+        let next = (sim.now() + tick).min(cap);
         sim.run_until(next);
         let signals = sim.drain_signals();
         for s in &signals {
@@ -243,6 +266,16 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
             }
         }
         metrics.ingest(signals.iter());
+        if let Some(sink) = trace_sink.as_mut() {
+            sink.ingest(&signals);
+            if sink.links_enabled() {
+                let now = sim.now();
+                for link in sim.network_mut().links_mut() {
+                    link.settle(now);
+                }
+                sink.sample_links(now, sim.network());
+            }
+        }
         let all_done = bounded_ids.iter().all(|f| completed.contains(f));
         if all_done || sim.now() >= cap || sim.pending_events() == 0 {
             break;
@@ -255,7 +288,11 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
 
     // Final measurements from long-running flows and receivers.
     sim.finalize();
-    metrics.ingest(sim.drain_signals().iter());
+    let final_signals = sim.drain_signals();
+    metrics.ingest(final_signals.iter());
+    if let Some(sink) = trace_sink.as_mut() {
+        sink.ingest(&final_signals);
+    }
 
     let elapsed = sim.now() - SimTime::ZERO;
     let counters = sim.counters();
@@ -303,6 +340,7 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
         audit,
         all_short_completed,
         goodput_horizon: config.goodput_horizon,
+        trace: trace_sink,
     }
 }
 

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::experiment::run;
     pub use crate::results::{ExperimentResults, RunSummary};
     pub use crate::scenario::{Fidelity, Scenario, ScenarioRun};
-    pub use metrics::{Summary, Table};
+    pub use metrics::{FlowSelect, Summary, Table, TraceConfig, TraceSettings, TraceSink};
     pub use netsim::{Addr, FlowId, SimDuration, SimTime};
     pub use topology::{
         DumbbellConfig, FatTreeConfig, LinkFailureSpec, ParallelPathConfig, Vl2Config,

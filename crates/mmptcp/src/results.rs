@@ -63,6 +63,11 @@ pub struct ExperimentResults {
     /// Fixed measurement window for long-flow goodput (see
     /// `ExperimentConfig::goodput_horizon`); `None` measures over the run.
     pub goodput_horizon: Option<SimDuration>,
+    /// The flight-recorder trace, when `ExperimentConfig::trace` asked for
+    /// one (`None` for untraced runs). Collected per run on the worker that
+    /// executed it, so the parallel driver's config-order result merge is
+    /// also the deterministic trace merge.
+    pub trace: Option<metrics::TraceSink>,
 }
 
 /// A compact, serialisable summary of a run (used by the bench harnesses to
@@ -393,6 +398,7 @@ mod tests {
             audit: ConservationAudit::default(),
             all_short_completed: true,
             goodput_horizon: None,
+            trace: None,
         }
     }
 

@@ -53,6 +53,21 @@ impl Fidelity {
 
 /// A named, data-driven experiment: topology + workload + transport +
 /// parameter sweep + seeds, expanded deterministically per fidelity.
+///
+/// ```
+/// use mmptcp::scenario::{find, Fidelity};
+///
+/// let scenario = find("fig1a").expect("fig1a is in the catalog");
+/// assert!(scenario.golden, "fig1a is part of the pinned golden subset");
+/// // Expansion is deterministic: the same fidelity always yields the same
+/// // labelled configuration list (the golden-snapshot contract).
+/// let configs = scenario.configs(Fidelity::Fast);
+/// assert_eq!(configs.len(), 3);
+/// assert_eq!(configs[0].0, "mptcp-1");
+/// assert_eq!(configs, scenario.configs(Fidelity::Fast));
+/// // `scenario.run(fidelity, threads)` would execute them on the parallel
+/// // driver and distil the canonical `ScenarioReport`.
+/// ```
 pub struct Scenario {
     /// Registry name (also the golden snapshot file stem).
     pub name: &'static str,

@@ -36,6 +36,7 @@ pub struct AgentCtx<'a> {
     out: &'a mut Vec<Packet>,
     timers: &'a mut Vec<(SimTime, u64)>,
     signals: &'a mut Vec<Signal>,
+    trace: bool,
 }
 
 impl<'a> AgentCtx<'a> {
@@ -55,7 +56,22 @@ impl<'a> AgentCtx<'a> {
             out,
             timers,
             signals,
+            trace: false,
         }
+    }
+
+    /// Enable (or disable) flight-recorder tracing for this activation. Set
+    /// by the simulator from its experiment-wide tracing flag; agents should
+    /// only *read* it via [`AgentCtx::trace_enabled`].
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Whether the experiment wants [`Signal::CwndSample`] telemetry from
+    /// transports. Defaults to `false`, in which case transports must not
+    /// construct samples at all — keeping the default hot path untouched.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
     }
 
     /// Current simulated time.

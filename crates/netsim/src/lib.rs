@@ -64,7 +64,7 @@ pub mod trace;
 pub use agent::{Agent, AgentCtx, AgentEvent};
 pub use event::{BinaryHeapQueue, Event, EventQueue};
 pub use ids::{Addr, FlowId, LinkId, NodeId};
-pub use link::{Link, LinkConfig, LinkStats};
+pub use link::{Link, LinkConfig, LinkStats, LinkTelemetry};
 pub use network::Network;
 pub use node::Node;
 pub use packet::{Ecn, Packet, PacketArena, PacketKind, PacketRef, DEFAULT_MSS, HEADER_BYTES};

@@ -17,8 +17,8 @@
 //! instant its serialisation would have started, tracked by the `committed`
 //! ledger, and its delivery time is identical to the packet-at-a-time
 //! schedule. (The one degenerate exception — observations landing at exactly
-//! a later burst packet's serialisation-start instant — is documented on
-//! [`Link::prune_committed`].)
+//! a later burst packet's serialisation-start instant — is documented on the
+//! private `Link::prune_committed`.)
 
 use crate::ids::{LinkId, NodeId};
 use crate::packet::Packet;
@@ -64,6 +64,30 @@ pub struct LinkStats {
     pub tx_bytes: u64,
     /// Time the transmitter has spent busy, in nanoseconds (for utilisation).
     pub busy_ns: u64,
+}
+
+/// A cumulative telemetry snapshot of one link, taken by the flight-recorder
+/// trace pipeline at a fixed cadence. Counters are cumulative since the start
+/// of the run; the trace sink differences consecutive snapshots to produce
+/// per-sample-window series (bytes carried, drops, ECN marks, utilisation),
+/// while `queue_depth_packets` is the instantaneous occupancy at the sample
+/// instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTelemetry {
+    /// Instantaneous queue depth in packets (committed-burst packets whose
+    /// serialisation has not started yet still count, exactly as they do for
+    /// drop and ECN decisions).
+    pub queue_depth_packets: usize,
+    /// Cumulative packets fully transmitted onto the wire.
+    pub tx_packets: u64,
+    /// Cumulative wire bytes transmitted.
+    pub tx_bytes: u64,
+    /// Cumulative transmitter busy time in nanoseconds.
+    pub busy_ns: u64,
+    /// Cumulative packets dropped by the output queue.
+    pub dropped: u64,
+    /// Cumulative ECN marks applied by the output queue.
+    pub ecn_marked: u64,
 }
 
 /// One unidirectional link.
@@ -278,6 +302,22 @@ impl Link {
     /// Queue counters.
     pub fn queue_stats(&self) -> QueueStats {
         self.queue.stats()
+    }
+
+    /// Flight-recorder telemetry snapshot at time `now`. Read-only: callers
+    /// that want the committed-burst ledger settled first (so `busy_ns` and
+    /// `tx_*` reflect exactly the transmissions started by `now`) should call
+    /// [`Link::settle`] beforehand, as the experiment loop does.
+    pub fn telemetry(&self, now: SimTime) -> LinkTelemetry {
+        let q = self.queue.stats();
+        LinkTelemetry {
+            queue_depth_packets: self.queue_len_at(now),
+            tx_packets: self.stats.tx_packets,
+            tx_bytes: self.stats.tx_bytes,
+            busy_ns: self.stats.busy_ns,
+            dropped: q.dropped,
+            ecn_marked: q.ecn_marked,
+        }
     }
 
     /// Link counters.

@@ -94,6 +94,29 @@ pub enum Signal {
         /// Data bytes sent in excess of the flow size.
         bytes: u64,
     },
+    /// Flight-recorder sample of one subflow's congestion state, emitted by
+    /// the per-path TCP engine after every state-changing activation — but
+    /// only when the simulator has flow tracing enabled
+    /// ([`crate::AgentCtx::trace_enabled`]); the default is off and then no
+    /// sample is ever constructed, so the hot path pays a single branch.
+    /// The metrics crate's trace sink turns these into the per-flow cwnd /
+    /// RTT / outstanding time series behind the paper's Figure-4-style
+    /// plots; the flow-completion pipeline ignores them entirely.
+    CwndSample {
+        /// The flow.
+        flow: FlowId,
+        /// Subflow index within the connection (0 = the packet-scatter flow
+        /// or the only subflow of a single-path transport).
+        subflow: u8,
+        /// When the sample was taken.
+        at: SimTime,
+        /// Congestion window in bytes (truncated from the engine's float).
+        cwnd: u64,
+        /// Smoothed RTT in microseconds (0 until the first sample exists).
+        srtt_us: u64,
+        /// Subflow-level bytes in flight.
+        outstanding: u64,
+    },
 }
 
 impl Signal {
@@ -107,7 +130,8 @@ impl Signal {
             | Signal::PhaseSwitched { flow, .. }
             | Signal::FlowProgress { flow, .. }
             | Signal::SpuriousRetransmit { flow, .. }
-            | Signal::RedundantBytes { flow, .. } => *flow,
+            | Signal::RedundantBytes { flow, .. }
+            | Signal::CwndSample { flow, .. } => *flow,
         }
     }
 
@@ -121,7 +145,8 @@ impl Signal {
             | Signal::PhaseSwitched { at, .. }
             | Signal::FlowProgress { at, .. }
             | Signal::SpuriousRetransmit { at, .. }
-            | Signal::RedundantBytes { at, .. } => *at,
+            | Signal::RedundantBytes { at, .. }
+            | Signal::CwndSample { at, .. } => *at,
         }
     }
 }
@@ -172,6 +197,14 @@ mod tests {
                 flow: FlowId(8),
                 at: SimTime::from_millis(8),
                 bytes: 70_000,
+            },
+            Signal::CwndSample {
+                flow: FlowId(9),
+                subflow: 0,
+                at: SimTime::from_millis(9),
+                cwnd: 14_000,
+                srtt_us: 120,
+                outstanding: 2_800,
             },
         ];
         for (i, s) in signals.iter().enumerate() {

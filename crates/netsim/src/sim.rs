@@ -44,6 +44,9 @@ pub struct Simulator {
     signals: Vec<Signal>,
     counters: SimCounters,
     stopped: bool,
+    /// When true, every agent activation sees `AgentCtx::trace_enabled()` and
+    /// transports emit `Signal::CwndSample` telemetry. Off by default.
+    trace_flows: bool,
     // Reusable scratch buffers for agent activations and link bursts (avoids
     // per-event allocation).
     scratch_out: Vec<Packet>,
@@ -63,6 +66,7 @@ impl Simulator {
             signals: Vec::new(),
             counters: SimCounters::default(),
             stopped: false,
+            trace_flows: false,
             scratch_out: Vec::with_capacity(64),
             scratch_timers: Vec::with_capacity(16),
             scratch_tx: Vec::with_capacity(16),
@@ -104,6 +108,20 @@ impl Simulator {
     /// Remove and return all signals emitted so far.
     pub fn drain_signals(&mut self) -> Vec<Signal> {
         std::mem::take(&mut self.signals)
+    }
+
+    /// Enable flight-recorder flow tracing: every subsequent agent activation
+    /// sees [`AgentCtx::trace_enabled`] and transports emit
+    /// [`Signal::CwndSample`] telemetry alongside the regular signal stream.
+    /// Off by default; leaving it off keeps the engine's behaviour and output
+    /// byte-identical to a build without telemetry.
+    pub fn set_flow_tracing(&mut self, on: bool) {
+        self.trace_flows = on;
+    }
+
+    /// Whether flow tracing is currently enabled.
+    pub fn flow_tracing(&self) -> bool {
+        self.trace_flows
     }
 
     /// Install `agent` for `flow` on host `host`.
@@ -308,6 +326,7 @@ impl Simulator {
                 &mut timers,
                 &mut self.signals,
             );
+            ctx.set_trace_enabled(self.trace_flows);
             f(host, &mut ctx);
         }
         for packet in out.drain(..) {

@@ -5,9 +5,12 @@
 //! the network — how full the fabric queues get, how many packets of a given
 //! flow each layer carries — in addition to the endpoint-visible flow
 //! completion times. [`QueueMonitor`] samples queue depths at a fixed cadence
-//! (driven by the experiment loop), and [`FlowTracer`] accumulates per-flow
-//! packet/byte/drop counts from link statistics deltas. Both are optional:
-//! experiments that do not use them pay nothing.
+//! (driven by the experiment loop), and [`LinkSnapshot`] captures per-link
+//! packet/byte/drop counters so deltas between two instants can be computed.
+//! Both are optional: experiments that do not use them pay nothing. (The
+//! richer flight-recorder pipeline — decimating ring series, CSV export —
+//! lives in the `metrics` crate's `trace` module, on top of the per-link
+//! telemetry hook `crate::link::Link::telemetry`.)
 
 use crate::ids::LinkId;
 use crate::network::Network;

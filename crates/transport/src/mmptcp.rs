@@ -390,8 +390,13 @@ impl MmptcpSender {
             at: ctx.now(),
             bytes_sent: self.next_data_seq,
         });
+        // Pin a flight-recorder sample of every subflow at the exact switch
+        // instant, so traced cwnd series show the PS→MPTCP handoff even if
+        // the decimating ring would otherwise skip this activation.
+        self.scatter.trace_sample(ctx);
         for sf in &mut self.subflows {
             sf.start(ctx);
+            sf.trace_sample(ctx);
         }
     }
 

@@ -28,6 +28,12 @@
 //! cumulative data ACK covering the flow — is therefore exactly "first full
 //! delivery wins". The bandwidth price (replica copies plus retransmissions)
 //! is reported through [`netsim::Signal::RedundantBytes`].
+//!
+//! Because replicas are plain subflows, the flight recorder sees the race
+//! for free: with tracing enabled each replica emits its own
+//! [`netsim::Signal::CwndSample`] series (subflow indices 0 and 1 under the
+//! shared flow id), and the losing replica's series goes quiet at the abort
+//! instant — `scenarios trace battle-matrix --flow <id>` plots it.
 
 use crate::config::TransportConfig;
 use crate::subflow::Subflow;

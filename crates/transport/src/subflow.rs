@@ -281,6 +281,27 @@ impl Subflow {
         self.src_port
     }
 
+    /// Emit one flight-recorder [`Signal::CwndSample`] for this subflow —
+    /// but only when the experiment has tracing enabled, so the default
+    /// (untraced) hot path pays exactly one branch and never constructs a
+    /// sample. Called automatically after every state-changing activation
+    /// ([`Subflow::on_packet`] / [`Subflow::on_timer`]); connections may
+    /// also call it directly to pin a sample at a significant instant (the
+    /// MMPTCP phase switch does).
+    pub fn trace_sample(&self, ctx: &mut AgentCtx<'_>) {
+        if !ctx.trace_enabled() {
+            return;
+        }
+        ctx.signal(Signal::CwndSample {
+            flow: self.flow,
+            subflow: self.index,
+            at: ctx.now(),
+            cwnd: self.cwnd as u64,
+            srtt_us: self.rtt.srtt().map(|d| d.as_micros()).unwrap_or(0),
+            outstanding: self.outstanding(),
+        });
+    }
+
     // --- lifecycle --------------------------------------------------------
 
     /// Begin the handshake: send a SYN and arm the retransmission timer.
@@ -410,6 +431,9 @@ impl Subflow {
                 self.arm_timer(ctx);
             }
         }
+        if update.congestion_event {
+            self.trace_sample(ctx);
+        }
         update
     }
 
@@ -509,6 +533,7 @@ impl Subflow {
             }
             _ => {}
         }
+        self.trace_sample(ctx);
         update
     }
 

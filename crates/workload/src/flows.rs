@@ -110,6 +110,22 @@ impl DeadlineModel {
 /// coordinates, starting at probability 0 and ending at 1. Samples are drawn
 /// by inverse-transform: one uniform variate is mapped through the inverse
 /// CDF with linear interpolation between knots.
+///
+/// ```
+/// use netsim::SimRng;
+/// use workload::WEB_SEARCH;
+///
+/// WEB_SEARCH.validate();
+/// // The median web-search flow is a short query; the analytic mean is
+/// // dominated by the few multi-megabyte responses.
+/// assert!(WEB_SEARCH.quantile(0.5) < 100_000);
+/// assert!(WEB_SEARCH.mean() > 1_000_000.0);
+/// // Sampling is deterministic per seed and bounded by the knot range.
+/// let mut rng = SimRng::new(42);
+/// let size = WEB_SEARCH.sample(&mut rng);
+/// assert!(size >= WEB_SEARCH.min_bytes() && size <= WEB_SEARCH.max_bytes());
+/// assert_eq!(WEB_SEARCH.sample(&mut SimRng::new(42)), size);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmpiricalCdf {
     /// Distribution name (used in labels and reports).
