@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p bench --bin nightly [--samples N] [--dry-run]`
 //!
 //! `--dry-run` runs and compares but does not append to the ledger (useful
-//! locally). The git revision is taken from `GITHUB_SHA` when present.
+//! locally). The git revision is taken from `GITHUB_SHA` when present,
+//! otherwise from `git rev-parse HEAD`, falling back to `"local"` only when
+//! neither is available (e.g. a source tarball without the `.git` directory).
 
 use bench::suite::{
     compare_to_baseline, last_baseline, ledger_line, run_nightly_suite, Verdict,
@@ -16,6 +18,32 @@ use std::process::ExitCode;
 
 fn ledger_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_nightly.json")
+}
+
+/// The revision to record in the ledger: `GITHUB_SHA` in CI, the actual
+/// `git rev-parse HEAD` of the working tree otherwise, `"local"` only when
+/// neither source is available. Every ledger entry used to say `"local"`
+/// outside CI, which made it impossible to bisect a regression to a commit.
+fn git_revision() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.trim().is_empty() {
+            return sha.trim().to_string();
+        }
+    }
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(repo_root)
+        .output()
+    {
+        if out.status.success() {
+            let sha = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    "local".to_string()
 }
 
 fn main() -> ExitCode {
@@ -82,7 +110,7 @@ fn main() -> ExitCode {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let git = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
+    let git = git_revision();
     let line = ledger_line(unix_secs, &git, samples, &fresh);
     if dry_run {
         println!("\n--dry-run: not appending\n{line}");

@@ -11,10 +11,10 @@
 //!
 //! ```text
 //! scenarios list
-//! scenarios run <name>... [--full | --paper] [--seed N] [--threads N] [--json]
+//! scenarios run <name>... [--full | --paper] [--seed N] [--engine packet|hybrid] [--threads N] [--json]
 //! scenarios check [<name>...] [--threads N]       # a.k.a. `scenarios --check`
 //! scenarios bless [<name>...] [--threads N]       # a.k.a. `scenarios --bless`
-//! scenarios conserve [<name>...] [--seeds N] [--all-configs] [--threads N]
+//! scenarios conserve [<name>...] [--seeds N] [--all-configs] [--engine packet|hybrid] [--threads N]
 //! scenarios trace <name>... [--flow ID] [--links] [--full | --paper] [--seed N] [--threads N]
 //! ```
 //!
@@ -22,7 +22,14 @@
 //! default; `--paper` the 512-server paper scale (their old `--full`).
 //! `--seed N` overrides every run's seed (run command only; golden snapshots
 //! are defined at the fast fidelity's pinned seed, so `check`/`bless` reject
-//! scale and seed flags).
+//! scale and seed flags). `--engine packet|hybrid` overrides which engine
+//! executes every selected configuration — `hybrid` installs the default
+//! 1 MB elephant threshold (`Engine::hybrid_default`) so any catalog
+//! scenario can be re-run on the fluid fast path, and `packet` forces the
+//! exact engine on scenarios (like `mega-load-sweep`) that default to
+//! hybrid. Golden snapshots pin each scenario's own engine choice, so
+//! `check`/`bless` reject the flag; `conserve` accepts it and sweeps the
+//! conservation laws under the chosen engine.
 //!
 //! `check` compares against the golden snapshots and exits non-zero on any
 //! drift, writing a line diff per drifted scenario to `target/golden-diff/`
@@ -50,7 +57,7 @@
 use bench::{summary_headers, summary_row};
 use metrics::{report, Table};
 use mmptcp::scenario::{catalog, find, Fidelity, Scenario};
-use mmptcp::ExperimentConfig;
+use mmptcp::{Engine, ExperimentConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -72,6 +79,7 @@ struct Options {
     fidelity_flag_seen: bool,
     seed: Option<u64>,
     seeds: u64,
+    engine: Option<Engine>,
     all_configs: bool,
     json: bool,
     flow: Option<u64>,
@@ -90,11 +98,13 @@ enum Command {
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios <list|run|check|bless|conserve|trace> [<name>...] [--full | --paper] \
-         [--seed N] [--seeds N] [--all-configs] [--threads N] [--json] [--flow ID] [--links]\n\
+         [--seed N] [--seeds N] [--engine packet|hybrid] [--all-configs] [--threads N] [--json] \
+         [--flow ID] [--links]\n\
          flags --check / --bless select the corresponding command directly; check/bless \
-         always run the pinned fast fidelity and reject --full/--paper/--seed;\n\
+         always run the pinned fast fidelity and reject --full/--paper/--seed/--engine;\n\
          conserve sweeps --seeds N seeds (default 16) over every scenario's first fast \
-         config (--all-configs: every config) and checks the conservation laws;\n\
+         config (--all-configs: every config) and checks the conservation laws, optionally \
+         under an --engine override;\n\
          trace re-runs the named scenarios with the flight recorder on and writes \
          CSV/JSON series under target/traces/ (--links adds per-link series, \
          --flow ID narrows the flow series to one flow)"
@@ -113,6 +123,7 @@ fn parse_args() -> Options {
         fidelity_flag_seen: false,
         seed: None,
         seeds: 16,
+        engine: None,
         all_configs: false,
         json: false,
         flow: None,
@@ -140,6 +151,14 @@ fn parse_args() -> Options {
                 let Some(v) = args.next() else { usage() };
                 opts.seeds = v.parse().unwrap_or_else(|_| usage());
             }
+            "--engine" => {
+                let Some(v) = args.next() else { usage() };
+                opts.engine = Some(match v.as_str() {
+                    "packet" => Engine::Packet,
+                    "hybrid" => Engine::hybrid_default(),
+                    _ => usage(),
+                });
+            }
             "--full" => {
                 opts.fidelity = Fidelity::Full;
                 opts.fidelity_flag_seen = true;
@@ -162,10 +181,11 @@ fn parse_args() -> Options {
         }
     }
     opts.command = command.unwrap_or_else(|| usage());
-    // Golden snapshots are pinned at fast fidelity and seed: a check or
-    // bless at any other scale would silently compare apples to oranges.
-    // The conservation sweep likewise always runs the fast fidelity and
-    // owns its seeds (--seeds); rejecting the flags beats ignoring them.
+    // Golden snapshots are pinned at fast fidelity, seed and engine: a check
+    // or bless under any other combination would silently compare apples to
+    // oranges. The conservation sweep likewise always runs the fast fidelity
+    // and owns its seeds (--seeds), but the conservation laws must hold
+    // under every engine, so it does accept --engine.
     if matches!(
         opts.command,
         Command::Check | Command::Bless | Command::Conserve
@@ -174,6 +194,13 @@ fn parse_args() -> Options {
         eprintln!(
             "check/bless/conserve always run the pinned fast fidelity; \
              drop --full/--paper/--seed (conserve takes --seeds N)"
+        );
+        std::process::exit(2);
+    }
+    if matches!(opts.command, Command::Check | Command::Bless) && opts.engine.is_some() {
+        eprintln!(
+            "golden snapshots pin each scenario's own engine; drop --engine \
+             (use `scenarios run <name> --engine ...` or `scenarios conserve --engine ...`)"
         );
         std::process::exit(2);
     }
@@ -222,21 +249,25 @@ fn cmd_list() -> ExitCode {
 fn cmd_run(opts: &Options) -> ExitCode {
     let fidelity = opts.fidelity;
     for s in select(&opts.names, false) {
-        let run = match opts.seed {
-            None => s.run(fidelity, opts.threads),
-            Some(seed) => {
-                let configs: Vec<(String, ExperimentConfig)> = s
-                    .configs(fidelity)
-                    .into_iter()
-                    .map(|(label, mut cfg)| {
+        let run = if opts.seed.is_none() && opts.engine.is_none() {
+            s.run(fidelity, opts.threads)
+        } else {
+            let configs: Vec<(String, ExperimentConfig)> = s
+                .configs(fidelity)
+                .into_iter()
+                .map(|(label, mut cfg)| {
+                    if let Some(seed) = opts.seed {
                         cfg.seed = seed;
-                        (label, cfg)
-                    })
-                    .collect();
-                let results = mmptcp::Driver::with_threads(opts.threads).run_labelled(configs);
-                let report = mmptcp::scenario::report(s.name, fidelity, &results);
-                mmptcp::ScenarioRun { results, report }
-            }
+                    }
+                    if let Some(engine) = opts.engine {
+                        cfg.engine = engine;
+                    }
+                    (label, cfg)
+                })
+                .collect();
+            let results = mmptcp::Driver::with_threads(opts.threads).run_labelled(configs);
+            let report = mmptcp::scenario::report(s.name, fidelity, &results);
+            mmptcp::ScenarioRun { results, report }
         };
         if opts.json {
             print!("{}", run.report.to_json());
@@ -339,7 +370,17 @@ fn cmd_conserve(opts: &Options) -> ExitCode {
             for seed in 1..=opts.seeds {
                 let mut c = cfg.clone();
                 c.seed = seed;
-                configs.push((format!("{} / {label} seed={seed}", s.name), c));
+                if let Some(engine) = opts.engine {
+                    c.engine = engine;
+                }
+                configs.push((
+                    format!(
+                        "{} / {label} seed={seed} engine={}",
+                        s.name,
+                        c.engine.label()
+                    ),
+                    c,
+                ));
             }
         }
     }

@@ -101,6 +101,55 @@ pub fn run_nightly_suite(samples: usize) -> Vec<(String, u128)> {
         )
     });
 
+    // The same elephant-dominated workload on both engines: four bounded
+    // 3 MB TCP flows contending on the dumbbell bottleneck. The packet
+    // engine pays per-packet cost for all 12 MB; the hybrid engine hands
+    // each elephant to the fluid fast path once it leaves slow start (the
+    // finite ssthresh makes that deterministic rather than loss-driven), so
+    // the pair measures the fluid speedup and pins both engines against
+    // their own baselines.
+    let elephant_workload = |engine: Engine| ExperimentConfig {
+        topology: TopologySpec::Dumbbell(DumbbellConfig::default()),
+        workload: WorkloadSpec::Custom(
+            [(0u32, 2u32), (1, 3), (0, 3), (1, 2)]
+                .iter()
+                .enumerate()
+                .map(|(i, (src, dst))| {
+                    FlowSpec::new(
+                        i as u64,
+                        Addr(*src),
+                        Addr(*dst),
+                        Some(3_000_000),
+                        SimTime::from_millis(1 + i as u64),
+                        FlowClass::Short,
+                    )
+                })
+                .collect(),
+        ),
+        protocol: Protocol::Tcp,
+        transport: TransportConfig {
+            initial_ssthresh: 100_000,
+            ..TransportConfig::low_min_rto()
+        },
+        engine,
+        seed: 5,
+        ..ExperimentConfig::default()
+    };
+    h.bench("elephant_workload_packet_engine", || {
+        black_box(
+            mmptcp::run(elephant_workload(Engine::Packet))
+                .short_fct_summary()
+                .count,
+        )
+    });
+    h.bench("elephant_workload_hybrid_engine", || {
+        black_box(
+            mmptcp::run(elephant_workload(Engine::hybrid_default()))
+                .short_fct_summary()
+                .count,
+        )
+    });
+
     h.results()
         .iter()
         .map(|m| (m.name.clone(), m.median().as_nanos()))

@@ -102,6 +102,55 @@ impl Protocol {
     }
 }
 
+/// Which simulation engine executes the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Engine {
+    /// Pure packet-level simulation: every byte of every flow rides in a
+    /// simulated packet. The reference engine — exact, but its cost scales
+    /// with bytes transferred.
+    #[default]
+    Packet,
+    /// Hybrid fluid/packet: once a bounded flow leaves slow start with more
+    /// than `elephant_threshold` bytes still to send, its remainder is
+    /// advanced analytically between epochs by the fluid engine
+    /// (`netsim::fluid`) at max-min fair link shares, while mice, handshakes
+    /// and all control traffic stay packet-level. MMPTCP hands off only after
+    /// its PS→MPTCP switch, so the paper's protection phase stays
+    /// packet-exact.
+    Hybrid {
+        /// Remaining-bytes boundary above which a flow is handed to the
+        /// fluid fast path.
+        elephant_threshold: u64,
+    },
+}
+
+impl Engine {
+    /// The default hybrid engine: elephants are flows with more than 1 MB
+    /// left after slow start (10× the paper's 100 KB mice boundary, so the
+    /// whole mice distribution — and a fat margin above it — is packet-exact).
+    pub fn hybrid_default() -> Engine {
+        Engine::Hybrid {
+            elephant_threshold: 1_000_000,
+        }
+    }
+
+    /// Short name for tables and ledger keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Packet => "packet",
+            Engine::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// The fluid threshold to install on the simulator (`None` = packet-only).
+    pub fn fluid_threshold(&self) -> Option<u64> {
+        match self {
+            Engine::Packet => None,
+            Engine::Hybrid { elephant_threshold } => Some(*elephant_threshold),
+        }
+    }
+}
+
 /// Which topology to build.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TopologySpec {
@@ -182,6 +231,9 @@ pub struct ExperimentConfig {
     /// events and (optionally) per-link queue/utilisation series into
     /// `ExperimentResults::trace`.
     pub trace: TraceConfig,
+    /// Which engine executes the run: pure packet (the default, exact) or
+    /// hybrid fluid/packet (elephant remainders advanced analytically).
+    pub engine: Engine,
     /// Fixed window over which long-flow goodput is measured (from time zero).
     /// `None` measures over the whole run, which makes runs of different
     /// lengths incomparable: a protocol whose short flows straggle keeps
@@ -205,6 +257,7 @@ impl Default for ExperimentConfig {
             max_sim_time: SimDuration::from_secs(20),
             progress_interval: SimDuration::from_millis(50),
             trace: TraceConfig::Off,
+            engine: Engine::Packet,
             goodput_horizon: None,
         }
     }
@@ -284,6 +337,16 @@ mod tests {
             Protocol::repsyn(),
             Protocol::RepFlow { syn_only: true, .. }
         ));
+    }
+
+    #[test]
+    fn default_engine_is_packet_and_hybrid_carries_its_threshold() {
+        assert_eq!(ExperimentConfig::default().engine, Engine::Packet);
+        assert_eq!(Engine::Packet.fluid_threshold(), None);
+        assert_eq!(Engine::Packet.label(), "packet");
+        let h = Engine::hybrid_default();
+        assert_eq!(h.fluid_threshold(), Some(1_000_000));
+        assert_eq!(h.label(), "hybrid");
     }
 
     #[test]

@@ -201,6 +201,10 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
     };
 
     let mut sim = Simulator::new(network, config.seed);
+    // Hybrid engine: arm the fluid fast path. Transports see the threshold on
+    // every activation and hand off elephant remainders; `Engine::Packet`
+    // leaves the threshold `None` and the run is byte-identical to before.
+    sim.set_fluid_threshold(config.engine.fluid_threshold());
 
     // Flight recorder: with tracing on, transports emit cwnd samples and
     // (optionally) the loop below snapshots link telemetry. With the default
@@ -297,6 +301,7 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
     let elapsed = sim.now() - SimTime::ZERO;
     let counters = sim.counters();
     let in_flight_at_end = sim.in_flight_packets() as u64;
+    let fluid_delivered_bytes = sim.fluid_delivered_bytes();
 
     // Re-assemble a BuiltTopology around the simulator's network for the
     // tier-based utilisation metrics.
@@ -312,6 +317,7 @@ pub fn run(mut config: ExperimentConfig) -> ExperimentResults {
         in_flight_at_end,
         backlog_at_end,
         no_route,
+        fluid_delivered_bytes,
     };
     let loss = loss_report(&network);
     let overall = overall_utilisation(&network, elapsed);

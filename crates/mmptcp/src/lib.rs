@@ -45,7 +45,7 @@ pub mod experiment;
 pub mod results;
 pub mod scenario;
 
-pub use config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
+pub use config::{Engine, ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
 pub use driver::{Driver, ExperimentSweep};
 pub use experiment::run;
 pub use results::{ExperimentResults, RunSummary};
@@ -60,7 +60,7 @@ pub use workload;
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
-    pub use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
+    pub use crate::config::{Engine, ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
     pub use crate::driver::{Driver, ExperimentSweep};
     pub use crate::experiment::run;
     pub use crate::results::{ExperimentResults, RunSummary};

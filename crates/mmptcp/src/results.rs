@@ -27,6 +27,12 @@ pub struct ConservationAudit {
     /// Packets dropped by switches for lack of a route (0 on well-formed
     /// topologies; kept separate from queue drops in the engine counter).
     pub no_route: u64,
+    /// Bytes delivered analytically by the fluid fast path (hybrid engine
+    /// only; exactly 0 under `Engine::Packet`). These bytes never ride in
+    /// packets, so they appear in no link counter — they are a separate
+    /// ledger term that closes the per-flow byte law: for a flow that
+    /// completed in fluid mode, packet-delivered + fluid-delivered == size.
+    pub fluid_delivered_bytes: u64,
 }
 
 /// Everything measured during one experiment.
@@ -179,6 +185,12 @@ impl ExperimentResults {
     /// Byte law: every *completed* bounded flow delivered exactly its size,
     /// and no bounded flow reports more bytes than its size (replication
     /// must be invisible at connection level).
+    ///
+    /// Fluid ledger (hybrid engine): bytes the fluid fast path delivered
+    /// analytically never ride in packets, so the packet law above is
+    /// untouched by mode transitions — but the fluid term must itself be
+    /// bounded by the workload: it can never exceed the total bytes of the
+    /// bounded flows (only bounded elephants ever hand off).
     pub fn check_conservation(&self) -> Result<(), String> {
         let offered = self.loss.edge.offered
             + self.loss.aggregation.offered
@@ -209,6 +221,14 @@ impl ExperimentResults {
                 "drop accounting violated in '{}' (seed {}): engine dropped {} != \
                  queue drops {} + no-route {}",
                 self.name, self.seed, self.counters.dropped, queue_drops, self.audit.no_route,
+            ));
+        }
+        let bounded_total: u64 = self.flows.iter().filter_map(|f| f.size).sum();
+        if self.audit.fluid_delivered_bytes > bounded_total {
+            return Err(format!(
+                "fluid ledger violated in '{}' (seed {}): fluid delivered {} bytes > \
+                 total bounded workload {} bytes",
+                self.name, self.seed, self.audit.fluid_delivered_bytes, bounded_total,
             ));
         }
         for spec in &self.flows {
@@ -492,6 +512,12 @@ mod tests {
         )];
         let err = broken.check_conservation().unwrap_err();
         assert!(err.contains("byte conservation"), "{err}");
+        // Fluid bytes exceeding the bounded workload must be caught (the
+        // fake workload is unbounded, so any fluid delivery is impossible).
+        let mut broken = fake_results();
+        broken.audit.fluid_delivered_bytes = 1;
+        let err = broken.check_conservation().unwrap_err();
+        assert!(err.contains("fluid ledger"), "{err}");
     }
 
     #[test]

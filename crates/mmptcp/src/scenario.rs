@@ -17,7 +17,7 @@
 //! `data-mining`), traffic-matrix variations (`hotspot`), link-failure
 //! injection (`link-failure`) and protocol co-existence (`coexistence`).
 
-use crate::config::{ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
+use crate::config::{Engine, ExperimentConfig, Protocol, TopologySpec, WorkloadSpec};
 use crate::driver::Driver;
 use crate::results::ExperimentResults;
 use metrics::report::{FctDoc, RunReport, ScenarioReport, TierCounts};
@@ -147,7 +147,7 @@ fn run_report(label: &str, r: &ExperimentResults) -> RunReport {
 
 /// The full scenario catalog, in stable display order.
 pub fn catalog() -> &'static [Scenario] {
-    static CATALOG: [Scenario; 10] = [
+    static CATALOG: [Scenario; 11] = [
         Scenario {
             name: "fig1a",
             description: "Figure 1(a): MPTCP short-flow FCT vs subflow count (1..9)",
@@ -207,6 +207,12 @@ pub fn catalog() -> &'static [Scenario] {
             description: "Every transport (incl. RepFlow/RepSYN, DiffFlow routing) x empirical workload x load",
             golden: true,
             build: battle_matrix,
+        },
+        Scenario {
+            name: "mega-load-sweep",
+            description: "Hybrid-engine stress: 100k+ bounded data-mining flows, cap-limited burst",
+            golden: true,
+            build: mega_load_sweep,
         },
     ];
     &CATALOG
@@ -557,6 +563,44 @@ fn battle_matrix(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
     out
 }
 
+/// Hybrid-engine stress scenario: a flow-count sweep whose top rung is only
+/// routinely runnable on the fluid fast path. Every host generates bounded
+/// data-mining flows (no unbounded background flows, so the CDF's heavy tail
+/// is eligible for fluid handoff), arrivals are compressed into the first few
+/// tens of milliseconds, and the run is hard-capped, so the golden document
+/// pins a deterministic cap-limited snapshot. At fast fidelity the largest
+/// rung alone generates 16 hosts x 6500 = 104 000 flows; the smallest rung
+/// leads the expansion so debug-profile conformance sweeps (which take each
+/// scenario's first fast config) stay tractable on the packet engine too.
+fn mega_load_sweep(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    // Hosts per fidelity mirror `base`: small/benchmark/paper FatTrees.
+    let (flow_counts, hosts): (&[usize], usize) = match fidelity {
+        Fidelity::Fast => (&[50, 1_000, 6_500], 16),
+        Fidelity::Full => (&[50, 1_000, 6_500], 64),
+        Fidelity::Paper => (&[500, 2_500], 512),
+    };
+    flow_counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = with_paper_workload(base(fidelity, Protocol::mmptcp_default()), |w| {
+                w.long_host_millis = 0;
+                w.short_size = FlowSizeModel::DataMining;
+                w.flows_per_short_host = n;
+                w.arrivals = ArrivalProcess::Poisson {
+                    mean_interarrival: SimDuration::from_micros(5),
+                };
+                w.short_start = SimTime::from_millis(1);
+            });
+            cfg.engine = Engine::hybrid_default();
+            cfg.max_sim_time = SimDuration::from_millis(250);
+            // No unbounded long flows exist, so the Figure-1 goodput window
+            // would just measure zero over a second the run never reaches.
+            cfg.goodput_horizon = None;
+            (format!("mmptcp-8 hybrid | {} flows", n * hosts), cfg)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,6 +843,37 @@ mod tests {
                 "{label}: interarrival {got} vs expected {expected_secs}"
             );
         }
+    }
+
+    /// The hybrid stress scenario must actually exercise the fluid fast
+    /// path: every rung runs the hybrid engine over bounded data-mining
+    /// flows, and the top fast rung generates at least 100 000 of them.
+    #[test]
+    fn mega_load_sweep_is_hybrid_and_tops_100k_flows_at_fast() {
+        let configs = find("mega-load-sweep").unwrap().configs(Fidelity::Fast);
+        let mut biggest = 0usize;
+        for (label, cfg) in &configs {
+            assert_eq!(cfg.engine, Engine::hybrid_default(), "{label}");
+            let WorkloadSpec::Paper(p) = &cfg.workload else {
+                panic!("{label} must use the paper workload");
+            };
+            assert_eq!(p.long_host_millis, 0, "{label}: all flows must be bounded");
+            assert_eq!(p.short_size, FlowSizeModel::DataMining, "{label}");
+            let hosts = cfg.topology.build().host_count();
+            assert!(label.ends_with(&format!("{} flows", p.flows_per_short_host * hosts)));
+            biggest = biggest.max(p.flows_per_short_host * hosts);
+        }
+        assert!(
+            biggest >= 100_000,
+            "largest fast rung generates only {biggest} flows"
+        );
+        // Smallest rung first: debug-profile conformance sweeps take the
+        // first config of each scenario.
+        let first_flows = match &configs[0].1.workload {
+            WorkloadSpec::Paper(p) => p.flows_per_short_host,
+            _ => unreachable!(),
+        };
+        assert_eq!(first_flows, 50);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! arming timers and emitting measurement [`Signal`]s. This keeps the
 //! transport crates completely decoupled from the engine internals.
 
+use crate::fluid::FluidHandoff;
 use crate::ids::FlowId;
 use crate::packet::Packet;
 use crate::rng::SimRng;
@@ -23,6 +24,14 @@ pub enum AgentEvent {
     Timer(u64),
     /// A packet addressed to this agent's flow arrived at the host.
     Packet(Packet),
+    /// The fluid fast path finished delivering the remainder of this flow
+    /// (`bytes` = the fluid-delivered byte count, i.e. the `remaining` the
+    /// agent handed off). The agent — not the engine — emits the
+    /// `FlowCompleted` signal, exactly as it would in packet mode.
+    FluidComplete {
+        /// Bytes delivered analytically by the fluid engine.
+        bytes: u64,
+    },
     /// The simulation is ending; emit any final measurements (e.g. progress of
     /// unbounded background flows).
     Finalize,
@@ -37,6 +46,8 @@ pub struct AgentCtx<'a> {
     timers: &'a mut Vec<(SimTime, u64)>,
     signals: &'a mut Vec<Signal>,
     trace: bool,
+    fluid_threshold: Option<u64>,
+    fluid_handoff: Option<FluidHandoff>,
 }
 
 impl<'a> AgentCtx<'a> {
@@ -57,7 +68,41 @@ impl<'a> AgentCtx<'a> {
             timers,
             signals,
             trace: false,
+            fluid_threshold: None,
+            fluid_handoff: None,
         }
+    }
+
+    /// Configure the fluid-handoff byte threshold for this activation. Set
+    /// by the simulator when the hybrid engine is enabled; `None` (the
+    /// default) means the packet engine is authoritative and transports
+    /// must not hand flows off.
+    pub fn set_fluid_threshold(&mut self, threshold: Option<u64>) {
+        self.fluid_threshold = threshold;
+    }
+
+    /// The fluid-handoff byte threshold, if the hybrid engine is active: a
+    /// transport whose *remaining* bytes exceed it (and which has left slow
+    /// start) should hand the rest of the flow to the fluid fast path via
+    /// [`AgentCtx::request_fluid_handoff`].
+    pub fn fluid_threshold(&self) -> Option<u64> {
+        self.fluid_threshold
+    }
+
+    /// Hand the remainder of this flow to the fluid fast path. The
+    /// simulator collects the request after the activation and registers
+    /// the flow with the fluid engine; from that point the transport must
+    /// stop sending new data (in-flight packets still drain normally) and
+    /// wait for [`AgentEvent::FluidComplete`]. At most one handoff per
+    /// activation; later requests replace earlier ones.
+    pub fn request_fluid_handoff(&mut self, handoff: FluidHandoff) {
+        self.fluid_handoff = Some(handoff);
+    }
+
+    /// Take the handoff requested during this activation, if any. Called by
+    /// the simulator after the agent returns.
+    pub fn take_fluid_handoff(&mut self) -> Option<FluidHandoff> {
+        self.fluid_handoff.take()
     }
 
     /// Enable (or disable) flight-recorder tracing for this activation. Set
@@ -164,7 +209,7 @@ mod tests {
                     }
                 }
                 AgentEvent::Start => ctx.set_timer_after(SimDuration::from_millis(1), 7),
-                AgentEvent::Timer(_) | AgentEvent::Finalize => {}
+                AgentEvent::Timer(_) | AgentEvent::Finalize | AgentEvent::FluidComplete { .. } => {}
             }
         }
         fn describe(&self) -> String {

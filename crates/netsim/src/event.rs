@@ -61,6 +61,12 @@ pub enum Event {
         /// The agent's flow id.
         flow: FlowId,
     },
+    /// Recompute the fluid fast path's rate shares (see [`crate::fluid`]):
+    /// advance fluid flows analytically, process completions and re-derive
+    /// per-link max-min allocations. Scheduled by the simulator at flow
+    /// handoffs/departures, packet drops on shared links, topology changes
+    /// and the fluid refresh interval.
+    FluidEpoch,
     /// The experiment harness asked to stop the simulation at this time.
     Stop,
 }

@@ -1,0 +1,715 @@
+//! Flow-level fluid fast path for elephant flows.
+//!
+//! Long bulk transfers dominate the event count of packet-level simulation:
+//! a 100 MB flow is tens of thousands of delivery/ACK events that mostly
+//! ack-clock a steady congestion window. The fluid engine removes that cost
+//! by modelling *fluid-mode* flows as rates instead of packets: a
+//! [`FluidEngine`] computes per-link max-min fair shares for every fluid
+//! flow (progressive water-filling, each flow additionally capped by a
+//! pacing rate derived from its transport's cwnd/RTT at handoff) and
+//! advances delivered bytes analytically between *epochs*. Mice, handshakes
+//! and all control traffic stay packet-level.
+//!
+//! ## Epochs
+//!
+//! Rates only change at epochs, so between epochs delivered bytes are a
+//! closed-form `rate × Δt`. An epoch is scheduled when
+//!
+//! * a flow is handed off to fluid mode (arrival),
+//! * a fluid flow finishes (departure),
+//! * a packet-mode drop happens on a link carried by a fluid flow
+//!   (congestion feedback: the affected flows' rate caps are halved,
+//!   Reno-style),
+//! * the topology changes (link failure/repair — paths are re-walked), or
+//! * a refresh interval expires (rate caps grow additively between losses,
+//!   approximating congestion avoidance, so shares must be recomputed
+//!   periodically even in the absence of discrete events).
+//!
+//! ## Sharing capacity with the packet world
+//!
+//! Each link's fluid capacity is its configured rate minus an EWMA of the
+//! packet-level bytes it recently carried (floored at 10 % of the rate so
+//! fluid flows always make progress). In the other direction, the sum of
+//! fluid rates allocated on a link is installed as a *reservation*
+//! ([`crate::link::Link::set_fluid_reservation`]) that shrinks the
+//! serialisation rate packet-mode traffic sees, so the two worlds contend
+//! for the same capacity rather than both seeing the full link.
+//!
+//! ## Determinism (rule #7)
+//!
+//! All engine state lives in `BTreeMap`/`BTreeSet` keyed by `FlowId` /
+//! `LinkId`, every epoch recomputation iterates in key order, and no wall
+//! clock or unkeyed hash map is consulted anywhere — epoch recomputation
+//! order is a pure function of the seed-determined event sequence, so
+//! hybrid runs are bit-for-bit reproducible like packet runs.
+
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::network::Network;
+use crate::packet::Packet;
+use crate::signal::Signal;
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Shares must be recomputed at least this often while fluid flows are
+/// active: rate caps grow additively (congestion avoidance) and the packet
+/// traffic EWMA decays, so a stale allocation drifts from fair.
+pub const FLUID_REFRESH: SimDuration = SimDuration::from_millis(2);
+
+/// Fraction of a link's rate fluid flows can never take (the packet world
+/// always keeps at least this much), and symmetrically the floor of the
+/// fluid capacity on a fully packet-busy link.
+const RESERVE_HEADROOM: f64 = 0.10;
+
+/// A transport's request to move the rest of a flow into fluid mode,
+/// produced via [`crate::agent::AgentCtx::request_fluid_handoff`].
+#[derive(Debug, Clone)]
+pub struct FluidHandoff {
+    /// A representative *data* packet for the remainder of the transfer:
+    /// its addresses/ports drive the path walk (ECMP hashes), and its
+    /// `data_seq` lets size-aware switch policies (DiffFlow) pin it like
+    /// the real elephant packets they stand for.
+    pub template: Packet,
+    /// Bytes still to deliver in fluid mode (total minus bytes already sent
+    /// at packet level; in-flight packets drain normally in parallel).
+    pub remaining: u64,
+    /// Connection-level bytes already handled at packet level when the
+    /// handoff happened; progress reports add fluid-delivered bytes on top.
+    pub base_bytes: u64,
+    /// Initial pacing-rate cap in bits/s, derived from the transport's
+    /// cwnd/RTT (see [`pacing_rate_bps`]) so congestion-control behaviour
+    /// is approximated rather than bypassed.
+    pub rate_cap_bps: u64,
+    /// Base (minimum observed) RTT at handoff; drives the additive cap
+    /// growth between drop epochs. Transports pass min-RTT rather than
+    /// smoothed RTT: srtt is queue-inflated when elephants hand off, and
+    /// a frozen inflated value would throttle additive increase for the
+    /// rest of the flow's life — a distortion packet mode escapes through
+    /// ack clocking as the queue drains, but a fluid model cannot.
+    pub srtt: SimDuration,
+    /// The transport's segment size (additive growth is one MSS per RTT).
+    pub mss: u32,
+}
+
+/// Translate a congestion window and smoothed RTT into a pacing rate in
+/// bits per second — the rate cap a fluid flow starts from at handoff.
+pub fn pacing_rate_bps(cwnd_bytes: f64, srtt: SimDuration) -> u64 {
+    let srtt_s = srtt.as_secs_f64().max(1e-6);
+    ((cwnd_bytes * 8.0) / srtt_s) as u64
+}
+
+/// A flow completion discovered by an epoch: the engine's caller dispatches
+/// [`crate::agent::AgentEvent::FluidComplete`] to the owning agent, which
+/// emits the `FlowCompleted` signal itself (keeping signal emission with the
+/// transport, exactly as in packet mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FluidCompletion {
+    /// Host the sending agent lives on.
+    pub node: NodeId,
+    /// The completed flow.
+    pub flow: FlowId,
+    /// Bytes the fluid engine delivered for this flow (its `remaining` at
+    /// handoff).
+    pub bytes: u64,
+}
+
+/// Result of one epoch recomputation.
+#[derive(Debug, Default)]
+pub struct EpochOutcome {
+    /// Flows that finished their fluid remainder during this epoch.
+    pub completions: Vec<FluidCompletion>,
+    /// When the next epoch must run (earliest projected completion or the
+    /// refresh interval), or `None` when no fluid flows remain.
+    pub next_epoch: Option<SimTime>,
+}
+
+/// Per-flow fluid state.
+#[derive(Debug, Clone)]
+struct FluidFlow {
+    node: NodeId,
+    template: Packet,
+    path: Vec<LinkId>,
+    remaining: u64,
+    delivered: u64,
+    base_bytes: u64,
+    /// Pacing cap (congestion-control approximation), adjusted at epochs.
+    cap_bps: f64,
+    /// Currently allocated max-min share.
+    rate_bps: u64,
+    srtt: SimDuration,
+    mss: u32,
+    last_advance: SimTime,
+}
+
+impl FluidFlow {
+    /// Floor for the pacing cap: one MSS per RTT, i.e. the slowest a live
+    /// TCP connection would pace itself.
+    fn min_cap_bps(&self) -> f64 {
+        let srtt_s = self.srtt.as_secs_f64().max(1e-6);
+        (self.mss as f64 * 8.0) / srtt_s
+    }
+}
+
+/// Per-link view of recent packet-level traffic, used to size the fluid
+/// capacity left over on a shared link.
+#[derive(Debug, Clone, Copy)]
+struct LinkLoad {
+    last_tx_bytes: u64,
+    last_sample: SimTime,
+    ewma_bps: f64,
+}
+
+/// The fluid-flow rate solver. Owned by the simulator; all mutation happens
+/// through the epoch entry points so state stays consistent with the event
+/// calendar.
+#[derive(Debug, Default)]
+pub struct FluidEngine {
+    flows: BTreeMap<FlowId, FluidFlow>,
+    /// Packet-traffic samplers for links currently used by fluid flows.
+    loads: BTreeMap<LinkId, LinkLoad>,
+    /// Links fluid flows currently cross (rebuilt each epoch; paths only
+    /// change at epochs, so it is accurate in between).
+    users: BTreeMap<LinkId, u32>,
+    /// Links with a packet-mode drop since the last epoch.
+    dropped: BTreeSet<LinkId>,
+    /// Links that currently carry a non-zero installed reservation.
+    reserved: BTreeSet<LinkId>,
+    delivered_bytes: u64,
+}
+
+impl FluidEngine {
+    /// Create an empty engine.
+    pub fn new() -> Self {
+        FluidEngine::default()
+    }
+
+    /// Number of flows currently in fluid mode.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether any flow is in fluid mode.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total bytes delivered analytically across all fluid flows so far —
+    /// the new term of the experiment-level conservation ledger.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// The currently allocated rate of a fluid flow, if it is one.
+    pub fn flow_rate_bps(&self, flow: FlowId) -> Option<u64> {
+        self.flows.get(&flow).map(|f| f.rate_bps)
+    }
+
+    /// Does any fluid flow currently cross `link`?
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.users.contains_key(&link)
+    }
+
+    /// Record a packet-mode drop on `link`. Returns `true` (and marks the
+    /// link for Reno-style cap halving at the next epoch) if a fluid flow
+    /// shares it — the caller then schedules an immediate epoch.
+    pub fn note_drop(&mut self, link: LinkId) -> bool {
+        if self.uses_link(link) {
+            self.dropped.insert(link);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Accept a transport's handoff: walk the flow's stable path through
+    /// the current topology and start fluid accounting at `now`. The caller
+    /// must schedule an epoch at `now` so the new flow gets a rate.
+    pub fn accept(&mut self, now: SimTime, node: NodeId, handoff: FluidHandoff, network: &Network) {
+        let flow = handoff.template.flow;
+        let path = walk_path(network, node, &handoff.template);
+        let srtt = handoff.srtt;
+        let f = FluidFlow {
+            node,
+            template: handoff.template,
+            path,
+            remaining: handoff.remaining,
+            delivered: 0,
+            base_bytes: handoff.base_bytes,
+            cap_bps: (handoff.rate_cap_bps as f64).max(1.0),
+            rate_bps: 0,
+            srtt: if srtt.is_zero() {
+                SimDuration::from_micros(100)
+            } else {
+                srtt
+            },
+            mss: handoff.mss.max(1),
+            last_advance: now,
+        };
+        for l in &f.path {
+            *self.users.entry(*l).or_insert(0) += 1;
+        }
+        self.flows.insert(flow, f);
+    }
+
+    /// Run one epoch at `now`: advance delivered bytes under the old rates,
+    /// collect completions, apply congestion feedback to the rate caps,
+    /// re-walk paths (picking up topology changes), recompute max-min fair
+    /// shares and install the matching link reservations.
+    pub fn epoch(&mut self, now: SimTime, network: &mut Network) -> EpochOutcome {
+        let mut out = EpochOutcome::default();
+
+        // 1. Advance everyone to `now` under the rates set at the previous
+        //    epoch, and adjust the pacing caps: halve on paths that saw a
+        //    packet drop (Reno), otherwise grow by one MSS per RTT
+        //    (congestion avoidance).
+        let dropped = std::mem::take(&mut self.dropped);
+        let mut delivered_delta = 0u64;
+        for f in self.flows.values_mut() {
+            let dt = now.duration_since(f.last_advance);
+            if !dt.is_zero() {
+                if f.rate_bps > 0 {
+                    let bytes =
+                        (f.rate_bps as u128 * dt.as_nanos() as u128 / 8_000_000_000u128) as u64;
+                    let bytes = bytes.min(f.remaining - f.delivered);
+                    f.delivered += bytes;
+                    delivered_delta += bytes;
+                }
+                let hit = f.path.iter().any(|l| dropped.contains(l));
+                if hit {
+                    f.cap_bps = (f.cap_bps / 2.0).max(f.min_cap_bps());
+                } else {
+                    // d(rate)/dt of one-MSS-per-RTT additive increase.
+                    let srtt_s = f.srtt.as_secs_f64().max(1e-6);
+                    f.cap_bps += 8.0 * f.mss as f64 * dt.as_secs_f64() / (srtt_s * srtt_s);
+                }
+                f.last_advance = now;
+            }
+        }
+        self.delivered_bytes += delivered_delta;
+
+        // 2. Completions: fluid remainder fully delivered.
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.delivered >= f.remaining)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in done {
+            let f = self.flows.remove(&id).expect("listed");
+            out.completions.push(FluidCompletion {
+                node: f.node,
+                flow: id,
+                bytes: f.remaining,
+            });
+        }
+
+        // 3. Re-walk every path: link failures (or repairs) re-route flows
+        //    exactly like the stateless re-pin the packet engine performs.
+        //    Epochs are rare, so the walk cost is negligible.
+        for f in self.flows.values_mut() {
+            let path = walk_path(network, f.node, &f.template);
+            if !path.is_empty() {
+                f.path = path;
+            }
+        }
+
+        // 4. Rebuild link membership and refresh the packet-traffic EWMAs
+        //    for links in use.
+        self.users.clear();
+        for f in self.flows.values() {
+            for l in &f.path {
+                *self.users.entry(*l).or_insert(0) += 1;
+            }
+        }
+        self.loads.retain(|l, _| self.users.contains_key(l));
+        let mut caps: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for (&link, _) in self.users.iter() {
+            let stats = network.link(link).stats();
+            let rate = network.link(link).config.rate_bps as f64;
+            let load = self.loads.entry(link).or_insert(LinkLoad {
+                last_tx_bytes: stats.tx_bytes,
+                last_sample: now,
+                ewma_bps: 0.0,
+            });
+            let dt = now.duration_since(load.last_sample);
+            if !dt.is_zero() {
+                let delta = stats.tx_bytes.saturating_sub(load.last_tx_bytes);
+                let inst = delta as f64 * 8e9 / dt.as_nanos() as f64;
+                load.ewma_bps = 0.5 * load.ewma_bps + 0.5 * inst;
+                load.last_tx_bytes = stats.tx_bytes;
+                load.last_sample = now;
+            }
+            let cap = (rate - load.ewma_bps).max(rate * RESERVE_HEADROOM);
+            caps.insert(link, cap);
+        }
+
+        // 5. Max-min fair shares with per-flow caps (progressive filling),
+        //    iterated strictly in key order for determinism.
+        let alloc = water_fill(&self.flows, &caps);
+        for (id, rate) in &alloc {
+            if let Some(f) = self.flows.get_mut(id) {
+                f.rate_bps = (*rate).max(1.0) as u64;
+            }
+        }
+
+        // 6. Install reservations: packet traffic on a shared link now
+        //    serialises at `rate - reservation`. Links no longer shared get
+        //    their reservation cleared.
+        let mut reserved_now: BTreeSet<LinkId> = BTreeSet::new();
+        let mut link_sum: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for (id, f) in self.flows.iter() {
+            let rate = alloc.get(id).copied().unwrap_or(0.0);
+            for l in &f.path {
+                *link_sum.entry(*l).or_insert(0.0) += rate;
+            }
+        }
+        for (&link, &sum) in link_sum.iter() {
+            let rate = network.link(link).config.rate_bps as f64;
+            let reservation = sum.min(rate * (1.0 - RESERVE_HEADROOM)) as u64;
+            network.link_mut(link).set_fluid_reservation(reservation);
+            if reservation > 0 {
+                reserved_now.insert(link);
+            }
+        }
+        for &link in self.reserved.difference(&reserved_now) {
+            network.link_mut(link).set_fluid_reservation(0);
+        }
+        self.reserved = reserved_now;
+
+        // 7. Next epoch: earliest projected completion, bounded by the
+        //    refresh interval. Keeping an epoch scheduled while flows are
+        //    active also guarantees the calendar never runs dry under a
+        //    live fluid flow.
+        if !self.flows.is_empty() {
+            let mut next = now + FLUID_REFRESH;
+            for f in self.flows.values() {
+                let left = f.remaining - f.delivered;
+                if f.rate_bps > 0 {
+                    // Round *up*: rounding down would produce an epoch at
+                    // which `rate × Δt` truncates to less than `left`, and
+                    // the final byte would respin epochs every 8e9/rate ns
+                    // forever instead of completing.
+                    let ns = (left as u128 * 8_000_000_000u128).div_ceil(f.rate_bps as u128) as u64;
+                    next = next.min(now + SimDuration::from_nanos(ns.max(1)));
+                }
+            }
+            out.next_epoch = Some(next);
+        }
+        out
+    }
+
+    /// End-of-run settlement: advance everyone to `now` one last time.
+    /// Flows that finished are returned as completions (the caller
+    /// dispatches `FluidComplete` so the transport emits `FlowCompleted`);
+    /// unfinished flows get a `FlowProgress` signal with their cumulative
+    /// (packet base + fluid) bytes, standing in for the progress report the
+    /// transport would have emitted in packet mode.
+    pub fn finalize(
+        &mut self,
+        now: SimTime,
+        network: &mut Network,
+    ) -> (Vec<FluidCompletion>, Vec<Signal>) {
+        let out = self.epoch(now, network);
+        let mut progress = Vec::new();
+        for (id, f) in self.flows.iter() {
+            progress.push(Signal::FlowProgress {
+                flow: *id,
+                at: now,
+                bytes: f.base_bytes + f.delivered,
+            });
+        }
+        (out.completions, progress)
+    }
+}
+
+/// Walk the stable path a data packet with `template`'s headers takes from
+/// host `src` to its destination under the current routing state. Empty on
+/// any routing anomaly (the flow then runs cap-limited, unconstrained by
+/// links — it cannot happen on the well-formed topologies the builders
+/// produce, where groups are never empty).
+fn walk_path(network: &Network, src: NodeId, template: &Packet) -> Vec<LinkId> {
+    let Some(host) = network.node(src).as_host() else {
+        return Vec::new();
+    };
+    let Some(mut link) = host.select_uplink(template) else {
+        return Vec::new();
+    };
+    let mut path = Vec::new();
+    // Hop bound well above any fabric diameter we build; trips cycles.
+    for _ in 0..32 {
+        path.push(link);
+        let to = network.link(link).to;
+        match network.node(to).as_switch() {
+            Some(sw) => match sw.route_stable(template) {
+                Some(next) => link = next,
+                None => return Vec::new(),
+            },
+            None => return path, // reached a host
+        }
+    }
+    Vec::new()
+}
+
+/// Progressive water-filling: max-min fair shares over `caps` with each
+/// flow additionally bounded by its pacing cap. Deterministic: all
+/// iteration is in `BTreeMap` key order and each round freezes at least one
+/// flow, so the loop runs at most `flows.len()` rounds.
+fn water_fill(
+    flows: &BTreeMap<FlowId, FluidFlow>,
+    caps: &BTreeMap<LinkId, f64>,
+) -> BTreeMap<FlowId, f64> {
+    let mut alloc: BTreeMap<FlowId, f64> = BTreeMap::new();
+    let mut remaining: BTreeMap<LinkId, f64> = caps.clone();
+    let mut active_on: BTreeMap<LinkId, u32> = BTreeMap::new();
+    let mut active: BTreeSet<FlowId> = BTreeSet::new();
+    for (id, f) in flows.iter() {
+        active.insert(*id);
+        for l in &f.path {
+            if caps.contains_key(l) {
+                *active_on.entry(*l).or_insert(0) += 1;
+            }
+        }
+    }
+    // Each active flow's current limit: its cap, or the fair share of its
+    // tightest link.
+    fn limit_of(
+        f: &FluidFlow,
+        remaining: &BTreeMap<LinkId, f64>,
+        active_on: &BTreeMap<LinkId, u32>,
+    ) -> f64 {
+        let mut lim = f.cap_bps;
+        for l in &f.path {
+            if let (Some(cap), Some(&n)) = (remaining.get(l), active_on.get(l)) {
+                if n > 0 {
+                    lim = lim.min(cap / n as f64);
+                }
+            }
+        }
+        lim.max(0.0)
+    }
+    while !active.is_empty() {
+        let level = active
+            .iter()
+            .map(|id| limit_of(&flows[id], &remaining, &active_on))
+            .fold(f64::INFINITY, f64::min);
+        let frozen: Vec<(FlowId, f64)> = active
+            .iter()
+            .filter_map(|id| {
+                let lim = limit_of(&flows[id], &remaining, &active_on);
+                (lim <= level * (1.0 + 1e-9) + 1e-6).then_some((*id, lim))
+            })
+            .collect();
+        debug_assert!(!frozen.is_empty());
+        for (id, share) in frozen {
+            let f = &flows[&id];
+            alloc.insert(id, share);
+            active.remove(&id);
+            for l in &f.path {
+                if let Some(cap) = remaining.get_mut(l) {
+                    *cap = (*cap - share).max(0.0);
+                }
+                if let Some(n) = active_on.get_mut(l) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Addr;
+    use crate::link::LinkConfig;
+    use crate::switch::SwitchLayer;
+
+    /// host0 --1Gbps--> sw --1Gbps--> host1, plus the reverse direction.
+    fn line_network() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let h0 = net.add_host();
+        let h1 = net.add_host();
+        let sw = net.add_switch(SwitchLayer::Edge, 2);
+        let cfg = LinkConfig::default();
+        let (_h0_up, h0_down) = net.add_duplex_link(h0, sw, cfg);
+        let (_h1_up, h1_down) = net.add_duplex_link(h1, sw, cfg);
+        let sw_ref = net.switch_mut(sw);
+        let g0 = sw_ref.add_group(vec![h0_down]);
+        let g1 = sw_ref.add_group(vec![h1_down]);
+        sw_ref.set_route(Addr(0), g0);
+        sw_ref.set_route(Addr(1), g1);
+        (net, h0, h1)
+    }
+
+    fn handoff(flow: u64, src_port: u16, remaining: u64, cap_bps: u64) -> FluidHandoff {
+        FluidHandoff {
+            template: Packet::data(
+                Addr(0),
+                Addr(1),
+                src_port,
+                80,
+                FlowId(flow),
+                0,
+                200_000,
+                200_000,
+                1400,
+                SimTime::ZERO,
+            ),
+            remaining,
+            base_bytes: 200_000,
+            rate_cap_bps: cap_bps,
+            srtt: SimDuration::from_micros(200),
+            mss: 1400,
+        }
+    }
+
+    #[test]
+    fn two_uncapped_flows_split_the_bottleneck_evenly() {
+        let (mut net, h0, _h1) = line_network();
+        let mut eng = FluidEngine::new();
+        let t0 = SimTime::from_millis(1);
+        eng.accept(
+            t0,
+            h0,
+            handoff(1, 50_000, 10_000_000, 100_000_000_000),
+            &net,
+        );
+        eng.accept(
+            t0,
+            h0,
+            handoff(2, 50_001, 10_000_000, 100_000_000_000),
+            &net,
+        );
+        let out = eng.epoch(t0, &mut net);
+        assert!(out.completions.is_empty());
+        let r1 = eng.flow_rate_bps(FlowId(1)).unwrap() as f64;
+        let r2 = eng.flow_rate_bps(FlowId(2)).unwrap() as f64;
+        assert!((r1 - r2).abs() / r1 < 1e-6, "equal shares: {r1} vs {r2}");
+        // Together they get the whole 1 Gbps (no packet traffic measured).
+        assert!((r1 + r2 - 1e9).abs() / 1e9 < 1e-6, "sum {}", r1 + r2);
+    }
+
+    #[test]
+    fn capped_flow_leaves_the_rest_to_its_sibling() {
+        let (mut net, h0, _h1) = line_network();
+        let mut eng = FluidEngine::new();
+        let t0 = SimTime::from_millis(1);
+        eng.accept(t0, h0, handoff(1, 50_000, 10_000_000, 100_000_000), &net); // capped at 100 Mbps
+        eng.accept(
+            t0,
+            h0,
+            handoff(2, 50_001, 10_000_000, 100_000_000_000),
+            &net,
+        );
+        eng.epoch(t0, &mut net);
+        let r1 = eng.flow_rate_bps(FlowId(1)).unwrap() as f64;
+        let r2 = eng.flow_rate_bps(FlowId(2)).unwrap() as f64;
+        assert!((r1 - 1e8).abs() / 1e8 < 1e-3, "capped flow pinned: {r1}");
+        assert!(
+            (r2 - 9e8).abs() / 9e8 < 1e-3,
+            "sibling takes the rest: {r2}"
+        );
+    }
+
+    #[test]
+    fn delivered_bytes_advance_analytically_and_complete() {
+        let (mut net, h0, _h1) = line_network();
+        let mut eng = FluidEngine::new();
+        let t0 = SimTime::from_millis(1);
+        // 1 MB at (up to) 1 Gbps => 8 ms.
+        eng.accept(t0, h0, handoff(1, 50_000, 1_000_000, 100_000_000_000), &net);
+        let out = eng.epoch(t0, &mut net);
+        let next = out.next_epoch.unwrap();
+        assert_eq!(next, t0 + SimDuration::from_millis(2), "refresh bounds it");
+        // March through refresh epochs until the completion epoch.
+        let mut now = next;
+        let mut completions = Vec::new();
+        for _ in 0..10 {
+            let out = eng.epoch(now, &mut net);
+            completions.extend(out.completions);
+            match out.next_epoch {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].flow, FlowId(1));
+        assert_eq!(completions[0].bytes, 1_000_000);
+        assert_eq!(eng.delivered_bytes(), 1_000_000);
+        assert!(eng.is_empty());
+        // Completion at ~9 ms: 8 ms of transfer from t0 = 1 ms, quantised to
+        // the 2 ms refresh grid.
+        assert!(now <= SimTime::from_millis(11), "completed by {now}");
+    }
+
+    #[test]
+    fn drop_on_a_shared_link_halves_the_cap() {
+        let (mut net, h0, _h1) = line_network();
+        let mut eng = FluidEngine::new();
+        let t0 = SimTime::from_millis(1);
+        eng.accept(t0, h0, handoff(1, 50_000, 100_000_000, 400_000_000), &net);
+        eng.epoch(t0, &mut net);
+        let before = eng.flow_rate_bps(FlowId(1)).unwrap();
+        assert!(
+            (before as f64 - 4e8).abs() / 4e8 < 1e-3,
+            "cap-limited start"
+        );
+        let link = eng.flows[&FlowId(1)].path[0];
+        assert!(eng.uses_link(link));
+        assert!(eng.note_drop(link));
+        let t1 = t0 + SimDuration::from_micros(10);
+        eng.epoch(t1, &mut net);
+        let after = eng.flow_rate_bps(FlowId(1)).unwrap();
+        assert!(
+            (after as f64 - before as f64 / 2.0).abs() / (before as f64) < 1e-2,
+            "halved: {before} -> {after}"
+        );
+        // A link no fluid flow crosses is not an epoch trigger.
+        assert!(!eng.note_drop(LinkId(9999)));
+    }
+
+    #[test]
+    fn reservation_is_installed_and_cleared() {
+        let (mut net, h0, _h1) = line_network();
+        let mut eng = FluidEngine::new();
+        let t0 = SimTime::from_millis(1);
+        eng.accept(t0, h0, handoff(1, 50_000, 10_000, 100_000_000_000), &net);
+        eng.epoch(t0, &mut net);
+        let link = eng.flows[&FlowId(1)].path[0];
+        let reserved = net.link(link).fluid_reservation();
+        assert!(reserved > 0, "shared link carries a reservation");
+        assert!(reserved <= 900_000_000, "clamped below the headroom");
+        // Finish the flow: the next epoch clears the reservation.
+        let t1 = t0 + SimDuration::from_millis(2);
+        let out = eng.epoch(t1, &mut net);
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(net.link(link).fluid_reservation(), 0);
+        assert_eq!(out.next_epoch, None);
+    }
+
+    #[test]
+    fn finalize_reports_progress_for_unfinished_flows() {
+        let (mut net, h0, _h1) = line_network();
+        let mut eng = FluidEngine::new();
+        let t0 = SimTime::from_millis(1);
+        eng.accept(
+            t0,
+            h0,
+            handoff(1, 50_000, 1_000_000_000, 1_000_000_000),
+            &net,
+        );
+        eng.epoch(t0, &mut net);
+        let t1 = t0 + SimDuration::from_millis(1);
+        let (completions, progress) = eng.finalize(t1, &mut net);
+        assert!(completions.is_empty());
+        assert_eq!(progress.len(), 1);
+        match progress[0] {
+            Signal::FlowProgress { flow, bytes, .. } => {
+                assert_eq!(flow, FlowId(1));
+                // ~1 ms at ≤1 Gbps on top of the 200 KB packet base.
+                assert!(bytes > 200_000, "bytes {bytes}");
+                assert!(bytes <= 200_000 + 125_000 + 1, "bytes {bytes}");
+            }
+            _ => panic!("expected FlowProgress"),
+        }
+    }
+}

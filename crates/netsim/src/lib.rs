@@ -8,8 +8,10 @@
 //! The design deliberately mirrors the slice of ns-3 that the paper's
 //! evaluation relies on:
 //!
-//! * packet granularity (no fluid approximations) so queue build-ups, drops,
-//!   duplicate ACKs and retransmission timeouts emerge naturally;
+//! * packet granularity by default, so queue build-ups, drops, duplicate
+//!   ACKs and retransmission timeouts emerge naturally (an opt-in hybrid
+//!   mode moves elephant-flow remainders to the [`fluid`] fast path while
+//!   mice and all control traffic stay packet-level);
 //! * per-switch ECMP hashing of the 5-tuple, which is what MMPTCP's
 //!   source-port randomisation exploits;
 //! * a single-threaded, seeded event loop so every experiment is exactly
@@ -48,6 +50,7 @@
 pub mod agent;
 pub mod ecmp;
 pub mod event;
+pub mod fluid;
 pub mod host;
 pub mod ids;
 pub mod link;
@@ -63,6 +66,7 @@ pub mod trace;
 
 pub use agent::{Agent, AgentCtx, AgentEvent};
 pub use event::{BinaryHeapQueue, Event, EventQueue};
+pub use fluid::{FluidCompletion, FluidEngine, FluidHandoff};
 pub use ids::{Addr, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig, LinkStats, LinkTelemetry};
 pub use network::Network;

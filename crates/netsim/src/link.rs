@@ -112,6 +112,12 @@ pub struct Link {
     /// until their start time passes.
     committed: VecDeque<(SimTime, u64, u64)>,
     committed_bytes: u64,
+    /// Bits per second currently reserved for fluid-mode flows crossing
+    /// this link (see [`crate::fluid`]). Packet serialisation runs at the
+    /// configured rate minus this reservation, so packet- and fluid-mode
+    /// traffic contend for the same capacity. Zero (the default) leaves the
+    /// packet path byte-identical to a build without the fluid engine.
+    fluid_reserved_bps: u64,
     stats: LinkStats,
 }
 
@@ -141,7 +147,35 @@ impl Link {
             transmitting: false,
             committed: VecDeque::new(),
             committed_bytes: 0,
+            fluid_reserved_bps: 0,
             stats: LinkStats::default(),
+        }
+    }
+
+    /// Install the fluid-mode capacity reservation in bits per second.
+    /// Subsequent packet transmissions serialise at the configured rate
+    /// minus the reservation (floored at 10 % of the rate so packet-mode
+    /// control traffic always makes progress). In-progress transmissions
+    /// keep the timings computed when they started.
+    pub fn set_fluid_reservation(&mut self, bps: u64) {
+        self.fluid_reserved_bps = bps;
+    }
+
+    /// The currently installed fluid reservation in bits per second.
+    pub fn fluid_reservation(&self) -> u64 {
+        self.fluid_reserved_bps
+    }
+
+    /// The serialisation rate packet transmissions currently see.
+    fn effective_rate_bps(&self) -> u64 {
+        if self.fluid_reserved_bps == 0 {
+            self.config.rate_bps
+        } else {
+            let floor = (self.config.rate_bps / 10).max(1);
+            self.config
+                .rate_bps
+                .saturating_sub(self.fluid_reserved_bps)
+                .max(floor)
         }
     }
 
@@ -243,7 +277,7 @@ impl Link {
     fn transmit(&mut self, start_at: SimTime) -> Option<StartedTransmission> {
         let packet = self.queue.dequeue()?;
         let wire = packet.wire_bytes() as u64;
-        let tx_time = SimDuration::transmission(wire, self.config.rate_bps);
+        let tx_time = SimDuration::transmission(wire, self.effective_rate_bps());
         let transmit_done_at = start_at + tx_time;
         let delivered_at = transmit_done_at + self.config.delay;
         Some(StartedTransmission {
@@ -535,6 +569,29 @@ mod tests {
         complete(&mut link, end);
         assert_eq!(link.stats().tx_packets, 5, "4 burst-era packets + pkt(9)");
         assert_eq!(link.stats().tx_bytes, 5 * 1500);
+    }
+
+    #[test]
+    fn fluid_reservation_slows_packet_serialisation() {
+        let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), cfg());
+        // Reserve half the link: 1500 wire bytes serialise in 24 us, not 12.
+        link.set_fluid_reservation(500_000_000);
+        let t0 = SimTime::ZERO;
+        let tx = link.offer(t0, pkt(0)).unwrap().unwrap();
+        assert_eq!(tx.transmit_done_at, t0 + SimDuration::from_micros(24));
+        // Clearing the reservation restores the full rate for later packets.
+        link.set_fluid_reservation(0);
+        assert!(complete(&mut link, tx.transmit_done_at).is_empty());
+        let t1 = tx.transmit_done_at;
+        let tx2 = link.offer(t1, pkt(1)).unwrap().unwrap();
+        assert_eq!(tx2.transmit_done_at, t1 + SimDuration::from_micros(12));
+        // An over-reservation is floored at 10 % of the configured rate.
+        assert!(complete(&mut link, tx2.transmit_done_at).is_empty());
+        link.set_fluid_reservation(2_000_000_000);
+        assert_eq!(link.fluid_reservation(), 2_000_000_000);
+        let t2 = tx2.transmit_done_at;
+        let tx3 = link.offer(t2, pkt(2)).unwrap().unwrap();
+        assert_eq!(tx3.transmit_done_at, t2 + SimDuration::from_micros(120));
     }
 
     #[test]

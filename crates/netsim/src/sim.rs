@@ -8,6 +8,7 @@
 
 use crate::agent::{Agent, AgentCtx, AgentEvent};
 use crate::event::{Event, EventQueue};
+use crate::fluid::{FluidEngine, FluidHandoff};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::StartedTransmission;
 use crate::network::Network;
@@ -52,6 +53,17 @@ pub struct Simulator {
     scratch_out: Vec<Packet>,
     scratch_timers: Vec<(SimTime, u64)>,
     scratch_tx: Vec<StartedTransmission>,
+    /// The fluid fast path (see [`crate::fluid`]). Dormant — and the packet
+    /// engine byte-identical to a build without it — unless a handoff
+    /// threshold is installed.
+    fluid: FluidEngine,
+    /// `Some(threshold)` enables the hybrid engine: transports see the
+    /// threshold via [`AgentCtx::fluid_threshold`] and may hand elephant
+    /// remainders to the fluid engine.
+    fluid_threshold: Option<u64>,
+    /// Earliest `FluidEpoch` event currently in the calendar, for
+    /// coalescing (stale later events recompute harmlessly).
+    fluid_epoch_at: Option<SimTime>,
 }
 
 impl Simulator {
@@ -70,6 +82,44 @@ impl Simulator {
             scratch_out: Vec::with_capacity(64),
             scratch_timers: Vec::with_capacity(16),
             scratch_tx: Vec::with_capacity(16),
+            fluid: FluidEngine::new(),
+            fluid_threshold: None,
+            fluid_epoch_at: None,
+        }
+    }
+
+    /// Enable the hybrid fluid/packet engine with the given elephant byte
+    /// threshold, or disable it with `None` (the default — pure packet
+    /// mode). With a threshold installed, transports that opt in hand a
+    /// flow's remainder to the fluid fast path once it has left slow start
+    /// and more than `threshold` bytes remain.
+    pub fn set_fluid_threshold(&mut self, threshold: Option<u64>) {
+        self.fluid_threshold = threshold;
+    }
+
+    /// The hybrid engine's handoff threshold, if enabled.
+    pub fn fluid_threshold(&self) -> Option<u64> {
+        self.fluid_threshold
+    }
+
+    /// Bytes delivered analytically by the fluid fast path so far (the
+    /// fluid term of the experiment-level conservation ledger).
+    pub fn fluid_delivered_bytes(&self) -> u64 {
+        self.fluid.delivered_bytes()
+    }
+
+    /// Number of flows currently in fluid mode.
+    pub fn fluid_flows_active(&self) -> usize {
+        self.fluid.len()
+    }
+
+    /// Tell the fluid fast path the topology changed (link failure or
+    /// repair): schedules an immediate epoch so paths are re-walked and
+    /// shares recomputed. No-op when the hybrid engine is off or idle.
+    pub fn notify_topology_changed(&mut self) {
+        if self.fluid_threshold.is_some() && !self.fluid.is_empty() {
+            let now = self.now;
+            self.schedule_fluid_epoch(now);
         }
     }
 
@@ -180,6 +230,7 @@ impl Simulator {
             Event::FlowStart { node, flow } => {
                 self.dispatch_agent(node, flow, AgentEvent::Start);
             }
+            Event::FluidEpoch => self.handle_fluid_epoch(),
             Event::Stop => {
                 self.stopped = true;
                 return false;
@@ -227,6 +278,15 @@ impl Simulator {
         let now = self.now;
         for link in self.network.links_mut() {
             link.settle(now);
+        }
+        if self.fluid_threshold.is_some() && !self.fluid.is_empty() {
+            let (completions, progress) = self.fluid.finalize(now, &mut self.network);
+            for c in completions {
+                self.dispatch_agent(c.node, c.flow, AgentEvent::FluidComplete { bytes: c.bytes });
+            }
+            // Unfinished fluid flows: the engine reports their cumulative
+            // progress (the transport froze its own byte count at handoff).
+            self.signals.extend(progress);
         }
         let hosts: Vec<NodeId> = self.network.hosts().to_vec();
         for host in hosts {
@@ -316,6 +376,7 @@ impl Simulator {
         let mut timers = std::mem::take(&mut self.scratch_timers);
         out.clear();
         timers.clear();
+        let handoff;
         {
             let host = self.network.host_mut(node);
             let mut ctx = AgentCtx::new(
@@ -327,7 +388,9 @@ impl Simulator {
                 &mut self.signals,
             );
             ctx.set_trace_enabled(self.trace_flows);
+            ctx.set_fluid_threshold(self.fluid_threshold);
             f(host, &mut ctx);
+            handoff = ctx.take_fluid_handoff();
         }
         for packet in out.drain(..) {
             self.send_from_host(node, packet);
@@ -338,6 +401,47 @@ impl Simulator {
         }
         self.scratch_out = out;
         self.scratch_timers = timers;
+        if let Some(h) = handoff {
+            self.accept_fluid_handoff(node, h);
+        }
+    }
+
+    /// Register a transport's fluid handoff and schedule the arrival epoch.
+    fn accept_fluid_handoff(&mut self, node: NodeId, handoff: FluidHandoff) {
+        if self.fluid_threshold.is_none() {
+            return;
+        }
+        self.fluid.accept(self.now, node, handoff, &self.network);
+        let now = self.now;
+        self.schedule_fluid_epoch(now);
+    }
+
+    /// Schedule a `FluidEpoch` at `at` unless an earlier one is already in
+    /// the calendar.
+    fn schedule_fluid_epoch(&mut self, at: SimTime) {
+        let at = at.max(self.now);
+        if self.fluid_epoch_at.is_none_or(|t| at < t) {
+            self.fluid_epoch_at = Some(at);
+            self.queue.schedule(at, Event::FluidEpoch);
+        }
+    }
+
+    /// Run one fluid epoch: advance fluid flows, hand completions back to
+    /// their transports, and reschedule.
+    fn handle_fluid_epoch(&mut self) {
+        if self.fluid_epoch_at == Some(self.now) {
+            self.fluid_epoch_at = None;
+        }
+        if self.fluid_threshold.is_none() || self.fluid.is_empty() {
+            return;
+        }
+        let outcome = self.fluid.epoch(self.now, &mut self.network);
+        for c in outcome.completions {
+            self.dispatch_agent(c.node, c.flow, AgentEvent::FluidComplete { bytes: c.bytes });
+        }
+        if let Some(next) = outcome.next_epoch {
+            self.schedule_fluid_epoch(next);
+        }
     }
 
     fn send_from_host(&mut self, node: NodeId, packet: Packet) {
@@ -373,6 +477,12 @@ impl Simulator {
             Ok(None) => {}
             Err(_) => {
                 self.counters.dropped += 1;
+                // A packet drop on a link shared with fluid flows is
+                // congestion feedback for them too: Reno-halve their caps
+                // at an immediate epoch.
+                if self.fluid_threshold.is_some() && self.fluid.note_drop(link) {
+                    self.schedule_fluid_epoch(now);
+                }
             }
         }
     }

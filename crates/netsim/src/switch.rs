@@ -224,6 +224,36 @@ impl Switch {
         Some(group[choice])
     }
 
+    /// The *stable* output link the fluid fast path attributes to `packet`'s
+    /// flow, without touching forwarding state (no stats, no scatter nonce).
+    ///
+    /// Matches [`Switch::forward`] exactly for the policies that pin flows:
+    /// flow-hash ECMP, control packets under the spraying policies, and
+    /// DiffFlow elephants (`data_seq` at or past the threshold map to the
+    /// same `select_pinned` member real elephant packets use, so fluid
+    /// elephants share their path — and re-pin after `remove_link` — just
+    /// like packet elephants). Per-packet-scattered traffic has no single
+    /// path by construction; its fluid stand-in is the flow-hash member,
+    /// which spreads a *population* of fluid flows across the group the way
+    /// scatter spreads packets.
+    pub fn route_stable(&self, packet: &Packet) -> Option<LinkId> {
+        let group = match self.table.get(packet.dst.index()) {
+            Some(&g) if g != NO_ROUTE => &self.groups[g as usize],
+            _ => return None,
+        };
+        let n = group.len();
+        let salt = self.ecmp_salt;
+        let choice = match self.policy {
+            PathPolicy::DiffFlow { elephant_threshold }
+                if packet.payload > 0 && packet.data_seq >= elephant_threshold =>
+            {
+                ecmp::select_pinned(packet, salt, n)
+            }
+            _ => ecmp::select(packet, salt, n),
+        };
+        Some(group[choice])
+    }
+
     /// Remove `link` from every next-hop group that has at least two members,
     /// e.g. when the link has failed and traffic must spread over the
     /// surviving equal-cost siblings. A group's last member is never removed
@@ -440,6 +470,27 @@ mod tests {
                 elephant_threshold: 100_000
             }
         );
+    }
+
+    #[test]
+    fn route_stable_matches_forward_for_pinned_traffic() {
+        let mut sw = switch_with_two_groups();
+        // Flow-hash ECMP: identical member, and no forwarding state touched.
+        for port in 49_152..49_152 + 32 {
+            let p = pkt(1, port);
+            let stable = sw.route_stable(&p);
+            assert_eq!(stable, sw.forward(&p));
+        }
+        // DiffFlow elephants (data_seq past the threshold) pin identically.
+        sw.set_path_policy(PathPolicy::diffflow_default());
+        for port in 49_152..49_152 + 32 {
+            let p = data_pkt(1, port, 500_000, 1400);
+            assert_eq!(sw.route_stable(&p), sw.forward(&p));
+        }
+        // Unknown destinations stay unroutable (and are not counted).
+        let no_route_before = sw.stats().no_route;
+        assert_eq!(sw.route_stable(&pkt(3, 50_000)), None);
+        assert_eq!(sw.stats().no_route, no_route_before);
     }
 
     #[test]

@@ -221,6 +221,11 @@ impl Agent for D2tcpSender {
                 self.subflow.on_timer(ctx, gen);
                 self.pump(ctx);
             }
+            // D²TCP never opts into the fluid fast path: its deadline-driven
+            // window modulation depends on per-ACK ECN feedback, which the
+            // analytic path does not model. The engine only sends this to
+            // flows that requested a handoff, so it is unreachable here.
+            AgentEvent::FluidComplete { .. } => {}
             AgentEvent::Finalize => {
                 if !self.completed {
                     if self.deadline.is_some() {

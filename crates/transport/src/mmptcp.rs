@@ -21,6 +21,7 @@
 use crate::config::TransportConfig;
 use crate::mptcp::compute_lia;
 use crate::subflow::{LiaParams, Subflow};
+use netsim::fluid::{pacing_rate_bps, FluidHandoff};
 use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, Packet, PacketKind, Signal, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -216,6 +217,10 @@ pub struct MmptcpSender {
     switched_at: Option<SimTime>,
     spurious_seen: u64,
     completed: bool,
+    /// True once the remainder of the flow has been handed to the fluid fast
+    /// path. Only possible in the MPTCP phase — the packet-scatter protection
+    /// phase always stays packet-exact.
+    fluid_mode: bool,
 }
 
 impl MmptcpSender {
@@ -270,6 +275,7 @@ impl MmptcpSender {
             switched_at: None,
             spurious_seen: 0,
             completed: false,
+            fluid_mode: false,
         }
     }
 
@@ -481,8 +487,11 @@ impl MmptcpSender {
         if self.should_switch(congestion) {
             self.switch_to_mptcp(ctx);
         }
-        self.pump(ctx);
-        self.check_completion(ctx);
+        if !self.fluid_mode {
+            self.pump(ctx);
+            self.check_completion(ctx);
+            self.maybe_fluid_handoff(ctx);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
@@ -500,7 +509,68 @@ impl MmptcpSender {
         if self.should_switch(congestion) {
             self.switch_to_mptcp(ctx);
         }
-        self.pump(ctx);
+        if !self.fluid_mode {
+            self.pump(ctx);
+        }
+    }
+
+    /// Whether the remainder of the flow has been handed to the fluid engine.
+    pub fn is_fluid_mode(&self) -> bool {
+        self.fluid_mode
+    }
+
+    /// Hand the remainder to the fluid fast path — but **only in the MPTCP
+    /// phase** (after the PS→MPTCP switch). The paper's packet-scatter
+    /// protection phase stays packet-exact so the short-flow dynamics the
+    /// paper studies are never approximated. The pacing cap sums the MPTCP
+    /// subflows' cwnd/srtt rates.
+    fn maybe_fluid_handoff(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.fluid_mode || self.completed || self.phase != MmptcpPhase::Mptcp {
+            return;
+        }
+        let Some(threshold) = ctx.fluid_threshold() else {
+            return;
+        };
+        let Some(total) = self.total else {
+            return; // unbounded background flows stay packet-level
+        };
+        let remaining = total.saturating_sub(self.next_data_seq);
+        if remaining <= threshold {
+            return;
+        }
+        let mut rate_cap_bps = 0u64;
+        let mut best_srtt: Option<netsim::SimDuration> = None;
+        let mut out_of_slow_start = false;
+        for sf in self.subflows.iter().filter(|s| s.is_established()) {
+            let Some(srtt) = sf.srtt() else { continue };
+            out_of_slow_start |= !sf.in_slow_start();
+            rate_cap_bps = rate_cap_bps.saturating_add(pacing_rate_bps(sf.cwnd(), srtt));
+            // Cap growth runs at the base (propagation) RTT: srtt is
+            // queue-inflated at handoff time, and a frozen inflated value
+            // would slow additive increase forever.
+            let base = sf.min_rtt().unwrap_or(srtt);
+            best_srtt = Some(match best_srtt {
+                Some(cur) if cur <= base => cur,
+                _ => base,
+            });
+        }
+        let Some(srtt) = best_srtt else {
+            return;
+        };
+        if !out_of_slow_start {
+            return;
+        }
+        let mss = self.cfg.transport.mss;
+        let template = self.subflows[0].fluid_template(self.next_data_seq, mss, ctx.now());
+        ctx.request_fluid_handoff(FluidHandoff {
+            template,
+            remaining,
+            base_bytes: self.next_data_seq,
+            rate_cap_bps,
+            srtt,
+            mss,
+        });
+        self.fluid_mode = true;
     }
 }
 
@@ -521,8 +591,29 @@ impl Agent for MmptcpSender {
                 }
             }
             AgentEvent::Timer(token) => self.on_timer(ctx, token),
-            AgentEvent::Finalize => {
+            AgentEvent::FluidComplete { bytes } => {
                 if !self.completed {
+                    self.completed = true;
+                    self.scatter.abort();
+                    for sf in &mut self.subflows {
+                        sf.abort();
+                    }
+                    let total = self.total.unwrap_or(self.next_data_seq + bytes);
+                    ctx.signal(Signal::FlowCompleted {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: total,
+                    });
+                    crate::signal_redundant_bytes(
+                        ctx,
+                        self.flow,
+                        self.total_bytes_sent() + bytes,
+                        total,
+                    );
+                }
+            }
+            AgentEvent::Finalize => {
+                if !self.completed && !self.fluid_mode {
                     ctx.signal(Signal::FlowProgress {
                         flow: self.flow,
                         at: ctx.now(),

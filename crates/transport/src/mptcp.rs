@@ -15,6 +15,7 @@
 
 use crate::config::TransportConfig;
 use crate::subflow::{LiaParams, Subflow, SubflowUpdate};
+use netsim::fluid::{pacing_rate_bps, FluidHandoff};
 use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, PacketKind, Signal, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +115,9 @@ pub struct MptcpSender {
     /// True once the additional (MP_JOIN) subflows have been started.
     joined: bool,
     completed: bool,
+    /// True once the remainder of the flow has been handed to the fluid fast
+    /// path; the scheduler stops pumping and waits for `FluidComplete`.
+    fluid_mode: bool,
 }
 
 impl MptcpSender {
@@ -157,6 +161,7 @@ impl MptcpSender {
             started_at: None,
             joined: false,
             completed: false,
+            fluid_mode: false,
         }
     }
 
@@ -274,6 +279,64 @@ impl MptcpSender {
         }
         self.subflows[idx].on_packet(ctx, pkt, lia)
     }
+
+    /// Whether the remainder of the flow has been handed to the fluid engine.
+    pub fn is_fluid_mode(&self) -> bool {
+        self.fluid_mode
+    }
+
+    /// Hand the remainder to the fluid fast path once all subflows have
+    /// joined, at least one has left slow start with an RTT sample, and more
+    /// than the elephant threshold is left. The pacing cap is the sum of the
+    /// per-subflow cwnd/srtt rates, so the aggregate MPTCP rate is respected.
+    fn maybe_fluid_handoff(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.fluid_mode || self.completed || !self.joined {
+            return;
+        }
+        let Some(threshold) = ctx.fluid_threshold() else {
+            return;
+        };
+        let Some(total) = self.total else {
+            return; // unbounded background flows stay packet-level
+        };
+        let remaining = total.saturating_sub(self.next_data_seq);
+        if remaining <= threshold {
+            return;
+        }
+        let mut rate_cap_bps = 0u64;
+        let mut best_srtt: Option<netsim::SimDuration> = None;
+        let mut out_of_slow_start = false;
+        for sf in self.subflows.iter().filter(|s| s.is_established()) {
+            let Some(srtt) = sf.srtt() else { continue };
+            out_of_slow_start |= !sf.in_slow_start();
+            rate_cap_bps = rate_cap_bps.saturating_add(pacing_rate_bps(sf.cwnd(), srtt));
+            // Cap growth runs at the base (propagation) RTT: srtt is
+            // queue-inflated at handoff time, and a frozen inflated value
+            // would slow additive increase forever.
+            let base = sf.min_rtt().unwrap_or(srtt);
+            best_srtt = Some(match best_srtt {
+                Some(cur) if cur <= base => cur,
+                _ => base,
+            });
+        }
+        let Some(srtt) = best_srtt else {
+            return;
+        };
+        if !out_of_slow_start {
+            return;
+        }
+        let mss = self.cfg.transport.mss;
+        let template = self.subflows[0].fluid_template(self.next_data_seq, mss, ctx.now());
+        ctx.request_fluid_handoff(FluidHandoff {
+            template,
+            remaining,
+            base_bytes: self.next_data_seq,
+            rate_cap_bps,
+            srtt,
+            mss,
+        });
+        self.fluid_mode = true;
+    }
 }
 
 impl Agent for MptcpSender {
@@ -307,8 +370,11 @@ impl Agent for MptcpSender {
                             sf.start(ctx);
                         }
                     }
-                    self.pump(ctx);
-                    self.check_completion(ctx);
+                    if !self.fluid_mode {
+                        self.pump(ctx);
+                        self.check_completion(ctx);
+                        self.maybe_fluid_handoff(ctx);
+                    }
                 }
             }
             AgentEvent::Timer(token) => {
@@ -316,10 +382,32 @@ impl Agent for MptcpSender {
                 if (idx as usize) < self.subflows.len() {
                     self.subflows[idx as usize].on_timer(ctx, gen);
                 }
-                self.pump(ctx);
+                if !self.fluid_mode {
+                    self.pump(ctx);
+                }
+            }
+            AgentEvent::FluidComplete { bytes } => {
+                if !self.completed {
+                    self.completed = true;
+                    for sf in &mut self.subflows {
+                        sf.abort();
+                    }
+                    let total = self.total.unwrap_or(self.next_data_seq + bytes);
+                    ctx.signal(Signal::FlowCompleted {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: total,
+                    });
+                    crate::signal_redundant_bytes(
+                        ctx,
+                        self.flow,
+                        self.total_bytes_sent() + bytes,
+                        total,
+                    );
+                }
             }
             AgentEvent::Finalize => {
-                if !self.completed {
+                if !self.completed && !self.fluid_mode {
                     ctx.signal(Signal::FlowProgress {
                         flow: self.flow,
                         at: ctx.now(),

@@ -212,7 +212,7 @@ impl Agent for TransportReceiver {
                     bytes: self.data_rcv_nxt,
                 });
             }
-            AgentEvent::Start | AgentEvent::Timer(_) => {}
+            AgentEvent::Start | AgentEvent::Timer(_) | AgentEvent::FluidComplete { .. } => {}
         }
     }
 

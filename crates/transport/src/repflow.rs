@@ -289,6 +289,9 @@ impl Agent for RepFlowSender {
                 }
                 self.pump(ctx);
             }
+            // RepFlow replicates mice below the elephant threshold, so it
+            // never requests a fluid handoff and this event cannot arrive.
+            AgentEvent::FluidComplete { .. } => {}
             AgentEvent::Finalize => {
                 if !self.completed {
                     ctx.signal(Signal::FlowProgress {

@@ -8,6 +8,7 @@ use netsim::SimDuration;
 #[derive(Debug, Clone)]
 pub struct RttEstimator {
     srtt: Option<SimDuration>,
+    min_rtt: Option<SimDuration>,
     rttvar: SimDuration,
     min_rto: SimDuration,
     initial_rto: SimDuration,
@@ -20,6 +21,7 @@ impl RttEstimator {
     pub fn new(min_rto: SimDuration, initial_rto: SimDuration, max_rto: SimDuration) -> Self {
         RttEstimator {
             srtt: None,
+            min_rtt: None,
             rttvar: SimDuration::ZERO,
             min_rto,
             initial_rto,
@@ -30,6 +32,10 @@ impl RttEstimator {
 
     /// Incorporate a new RTT sample (RFC 6298 §2).
     pub fn on_sample(&mut self, sample: SimDuration) {
+        self.min_rtt = Some(match self.min_rtt {
+            None => sample,
+            Some(m) => m.min(sample),
+        });
         match self.srtt {
             None => {
                 self.srtt = Some(sample);
@@ -54,6 +60,12 @@ impl RttEstimator {
     /// The smoothed RTT, if at least one sample has been taken.
     pub fn srtt(&self) -> Option<SimDuration> {
         self.srtt
+    }
+
+    /// The minimum RTT ever sampled — the propagation-delay estimate, free
+    /// of the queueing delay that inflates [`Self::srtt`] under load.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
     }
 
     /// The current retransmission timeout, including backoff.

@@ -204,6 +204,11 @@ impl Subflow {
         self.rtt.srtt()
     }
 
+    /// Minimum RTT ever sampled (propagation-delay estimate), if measured.
+    pub fn min_rtt(&self) -> Option<netsim::SimDuration> {
+        self.rtt.min_rtt()
+    }
+
     /// Bytes in flight at subflow level.
     pub fn outstanding(&self) -> u64 {
         self.snd_nxt - self.snd_una
@@ -279,6 +284,37 @@ impl Subflow {
     /// `scatter` is on).
     pub fn src_port(&self) -> u16 {
         self.src_port
+    }
+
+    /// Whether the subflow is still in slow start (`cwnd < ssthresh`). The
+    /// fluid fast path only accepts flows that have left slow start, so the
+    /// handed-off pacing rate reflects a congestion-avoidance estimate.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Build a representative data packet for a fluid handoff: same 5-tuple
+    /// (pinned source port — scatter randomisation does not apply, the fluid
+    /// path pins one route), flow, subflow index and ECN capability as a real
+    /// segment at `data_seq`, but never transmitted. The fluid engine walks
+    /// the routing tables with it to discover which links the flow occupies.
+    pub fn fluid_template(&self, data_seq: u64, payload: u32, now: SimTime) -> Packet {
+        let mut pkt = Packet::data(
+            self.src,
+            self.dst,
+            self.src_port,
+            self.dst_port,
+            self.flow,
+            self.index,
+            self.snd_nxt,
+            data_seq,
+            payload,
+            now,
+        );
+        if self.cfg.ecn {
+            pkt.ecn = Ecn::Capable;
+        }
+        pkt
     }
 
     /// Emit one flight-recorder [`Signal::CwndSample`] for this subflow —

@@ -6,6 +6,7 @@
 
 use crate::config::TransportConfig;
 use crate::subflow::Subflow;
+use netsim::fluid::{pacing_rate_bps, FluidHandoff};
 use netsim::{Addr, Agent, AgentCtx, AgentEvent, FlowId, Packet, PacketKind, Signal, SimTime};
 
 /// A single-path TCP sender transferring `total` bytes (or running forever
@@ -20,6 +21,10 @@ pub struct TcpSender {
     data_acked: u64,
     started_at: Option<SimTime>,
     completed: bool,
+    /// True once the remainder of the flow has been handed to the fluid fast
+    /// path: the sender stops pumping new data and waits for
+    /// [`AgentEvent::FluidComplete`] (in-flight packets still drain normally).
+    fluid_mode: bool,
 }
 
 impl TcpSender {
@@ -46,6 +51,7 @@ impl TcpSender {
             data_acked: 0,
             started_at: None,
             completed: false,
+            fluid_mode: false,
         }
     }
 
@@ -85,6 +91,11 @@ impl TcpSender {
         &self.subflow
     }
 
+    /// Whether the remainder of the flow has been handed to the fluid engine.
+    pub fn is_fluid_mode(&self) -> bool {
+        self.fluid_mode
+    }
+
     fn remaining(&self) -> u64 {
         match self.total {
             Some(t) => t.saturating_sub(self.next_data_seq),
@@ -105,6 +116,49 @@ impl TcpSender {
             self.subflow.send_segment(ctx, self.next_data_seq, len);
             self.next_data_seq += len as u64;
         }
+    }
+
+    /// Hand the remainder of the flow to the fluid fast path if the hybrid
+    /// engine is on, the flow is a bounded elephant with more than the
+    /// threshold left, and the subflow has settled out of slow start (so the
+    /// pacing cap derived from cwnd/srtt approximates congestion avoidance).
+    fn maybe_fluid_handoff(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.fluid_mode || self.completed {
+            return;
+        }
+        let Some(threshold) = ctx.fluid_threshold() else {
+            return;
+        };
+        let Some(total) = self.total else {
+            return; // unbounded background flows stay packet-level
+        };
+        let remaining = total.saturating_sub(self.next_data_seq);
+        if remaining <= threshold {
+            return;
+        }
+        if !self.subflow.is_established() || self.subflow.in_slow_start() {
+            return;
+        }
+        let Some(srtt) = self.subflow.srtt() else {
+            return;
+        };
+        let rate_cap_bps = pacing_rate_bps(self.subflow.cwnd(), srtt);
+        let template = self
+            .subflow
+            .fluid_template(self.next_data_seq, self.cfg.mss, ctx.now());
+        ctx.request_fluid_handoff(FluidHandoff {
+            template,
+            remaining,
+            base_bytes: self.next_data_seq,
+            rate_cap_bps,
+            // Cap growth must run at the base (propagation) RTT, not the
+            // smoothed RTT: srtt is queue-inflated at handoff time, and a
+            // frozen inflated value would slow additive increase forever
+            // (packet mode self-corrects via ack clocking; fluid can't).
+            srtt: self.subflow.min_rtt().unwrap_or(srtt),
+            mss: self.cfg.mss,
+        });
+        self.fluid_mode = true;
     }
 
     fn check_completion(&mut self, ctx: &mut AgentCtx<'_>) {
@@ -146,17 +200,40 @@ impl Agent for TcpSender {
                 if matches!(pkt.kind, PacketKind::Ack | PacketKind::SynAck) {
                     self.data_acked = self.data_acked.max(pkt.data_ack);
                     self.subflow.on_packet(ctx, &pkt, None);
-                    self.pump(ctx);
-                    self.check_completion(ctx);
+                    if !self.fluid_mode {
+                        self.pump(ctx);
+                        self.check_completion(ctx);
+                        self.maybe_fluid_handoff(ctx);
+                    }
                 }
             }
             AgentEvent::Timer(token) => {
                 let (_, gen) = Subflow::decode_timer_token(token);
                 self.subflow.on_timer(ctx, gen);
-                self.pump(ctx);
+                if !self.fluid_mode {
+                    self.pump(ctx);
+                }
+            }
+            AgentEvent::FluidComplete { bytes } => {
+                if !self.completed {
+                    self.completed = true;
+                    self.subflow.abort();
+                    let total = self.total.unwrap_or(self.next_data_seq + bytes);
+                    ctx.signal(Signal::FlowCompleted {
+                        flow: self.flow,
+                        at: ctx.now(),
+                        bytes: total,
+                    });
+                    crate::signal_redundant_bytes(
+                        ctx,
+                        self.flow,
+                        self.subflow.counters().data_bytes_sent + bytes,
+                        total,
+                    );
+                }
             }
             AgentEvent::Finalize => {
-                if !self.completed {
+                if !self.completed && !self.fluid_mode {
                     ctx.signal(Signal::FlowProgress {
                         flow: self.flow,
                         at: ctx.now(),

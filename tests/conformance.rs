@@ -360,6 +360,394 @@ fn diffflow_link_failure_never_strands_a_pinned_elephant() {
     r.check_conservation().expect("conservation under failures");
 }
 
+// --- Hybrid fluid/packet engine conformance ------------------------------
+
+/// Relative tolerance for FCT percentiles between the packet and hybrid
+/// engines. The fluid fast path *approximates* an elephant's congestion
+/// control (max-min shares under a pacing cap instead of per-ACK dynamics),
+/// so elephants — and the mice that share links with them — legitimately
+/// finish somewhat earlier or later than under packet simulation. 35 %
+/// keeps both engines in the same regime (an elephant can never look like a
+/// mouse) while absorbing the loss of per-packet burstiness.
+const ENGINE_REL_TOL: f64 = 0.35;
+/// Absolute floor (ms) for elephant percentiles: sub-2 ms shifts are within
+/// a handful of RTTs on these fabrics.
+const ELEPHANT_ABS_TOL_MS: f64 = 2.0;
+/// Absolute floor (ms) for mice percentiles, sized to the two ways the
+/// engines legitimately reshape a mouse that shares a link with an
+/// elephant. Under the hybrid engine the mouse serialises at the 10 %
+/// reserve headroom while a fluid reservation holds — `size / (0.10 ×
+/// link rate)` ≈ 10 ms for a ~100 KB mouse — because the fluid elephant
+/// claims its max-min share instantly where its packet twin is still
+/// ramping. Under the packet engine the same mouse instead takes drops in
+/// the elephant-dominated queue and pays a couple of (low-preset, 10 ms)
+/// RTO cycles that reservations smooth away entirely. Either effect can
+/// land on either side, so the floor covers ~3 such cycles; gross
+/// starvation (100 ms-scale gaps, an unfinished mouse) still fails.
+const MICE_ABS_TOL_MS: f64 = 30.0;
+
+fn percentiles_close(what: &str, packet: &Summary, hybrid: &Summary, abs_tol_ms: f64) {
+    assert_eq!(
+        packet.count, hybrid.count,
+        "{what}: both engines must complete the same flows"
+    );
+    for (name, p, h) in [
+        ("p50", packet.median, hybrid.median),
+        ("p95", packet.p95, hybrid.p95),
+        ("p99", packet.p99, hybrid.p99),
+    ] {
+        let tol = (p.max(h) * ENGINE_REL_TOL).max(abs_tol_ms);
+        assert!(
+            (p - h).abs() <= tol,
+            "{what} {name}: packet {p:.3} ms vs hybrid {h:.3} ms exceeds ±{tol:.3} ms"
+        );
+    }
+}
+
+/// FCT summary over an explicit flow-id set.
+fn fct_summary_of(r: &ExperimentResults, ids: &[u64]) -> Summary {
+    r.metrics.fct_summary_ms(|f| ids.contains(&f.0))
+}
+
+/// Mixed mice/elephant grids for the engine-differential tests. Elephants
+/// are well above the 1 MB default handoff threshold; mice are all below
+/// the 100 KB mice boundary.
+fn mixed_flows(pairs: &[(u32, u32, u64)]) -> Vec<FlowSpec> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (src, dst, bytes))| {
+            FlowSpec::new(
+                i as u64,
+                Addr(*src),
+                Addr(*dst),
+                Some(*bytes),
+                SimTime::from_millis(1 + i as u64),
+                FlowClass::Short,
+            )
+        })
+        .collect()
+}
+
+fn split_by_size(pairs: &[(u32, u32, u64)]) -> (Vec<u64>, Vec<u64>) {
+    let mut mice = Vec::new();
+    let mut elephants = Vec::new();
+    for (i, (_, _, bytes)) in pairs.iter().enumerate() {
+        if *bytes <= 100_000 {
+            mice.push(i as u64);
+        } else {
+            elephants.push(i as u64);
+        }
+    }
+    (mice, elephants)
+}
+
+/// Differential conformance between the engines on one grid: run the same
+/// configuration under `Engine::Packet` and `Engine::Hybrid`, require that
+/// the hybrid run actually exercised the fluid path, that every flow still
+/// completes, and that mice and elephant FCT percentiles stay within the
+/// documented tolerance.
+fn assert_engines_agree(
+    what: &str,
+    base: ExperimentConfig,
+    pairs: &[(u32, u32, u64)],
+    threshold: u64,
+) {
+    let packet = mmptcp::run(ExperimentConfig {
+        engine: Engine::Packet,
+        ..base.clone()
+    });
+    let hybrid = mmptcp::run(ExperimentConfig {
+        engine: Engine::Hybrid {
+            elephant_threshold: threshold,
+        },
+        ..base
+    });
+    for (label, r) in [("packet", &packet), ("hybrid", &hybrid)] {
+        assert!(r.all_short_completed, "{what}/{label}: flows stranded");
+        r.check_conservation()
+            .unwrap_or_else(|e| panic!("{what}/{label}: {e}"));
+    }
+    assert_eq!(
+        packet.audit.fluid_delivered_bytes, 0,
+        "{what}: packet engine ran fluid?"
+    );
+    assert!(
+        hybrid.audit.fluid_delivered_bytes > 0,
+        "{what}: hybrid run never handed an elephant to the fluid path"
+    );
+    let (mice, elephants) = split_by_size(pairs);
+    percentiles_close(
+        &format!("{what}/mice"),
+        &fct_summary_of(&packet, &mice),
+        &fct_summary_of(&hybrid, &mice),
+        MICE_ABS_TOL_MS,
+    );
+    percentiles_close(
+        &format!("{what}/elephants"),
+        &fct_summary_of(&packet, &elephants),
+        &fct_summary_of(&hybrid, &elephants),
+        ELEPHANT_ABS_TOL_MS,
+    );
+}
+
+/// Engine-differential on the dumbbell: two elephants contending on the
+/// shared bottleneck, mice same-side so they share access links (and thus
+/// fluid reservations) with the elephants but not the drop-prone
+/// bottleneck queue — a mouse drop there would halve *both* fluid
+/// elephants' caps where the packet engine penalises only the dropping
+/// mouse, a deliberate modelling asymmetry the fat-tree grid absorbs in
+/// its tolerance instead. Both differential grids use a finite initial
+/// ssthresh (deterministic handoff eligibility) and the low min-RTO
+/// preset: the fluid model reproduces congestion-avoidance dynamics, not
+/// 200 ms minimum-timeout stalls, so a default-RTO packet run would
+/// diverge by whole RTO multiples rather than model error.
+#[test]
+fn hybrid_engine_matches_packet_fcts_on_the_dumbbell() {
+    // 10 MB elephants: the fluid ramp-in (EWMA capacity recovery plus
+    // pacing-cap growth after handoff) costs tens of milliseconds, so the
+    // transfer must be long enough for steady state to dominate — exactly
+    // the regime the fast path targets.
+    let pairs: &[(u32, u32, u64)] = &[
+        (0, 2, 10_000_000),
+        (1, 3, 10_000_000),
+        (0, 1, 50_000),
+        (2, 3, 70_000),
+    ];
+    let cfg = ExperimentConfig {
+        topology: TopologySpec::Dumbbell(DumbbellConfig::default()),
+        workload: WorkloadSpec::Custom(mixed_flows(pairs)),
+        protocol: Protocol::Tcp,
+        transport: TransportConfig {
+            initial_ssthresh: 100_000,
+            ..TransportConfig::low_min_rto()
+        },
+        seed: 21,
+        ..ExperimentConfig::default()
+    };
+    assert_engines_agree("dumbbell", cfg, pairs, 500_000);
+}
+
+/// Engine-differential on the small FatTree: inter-pod elephants and mice.
+/// A finite initial ssthresh makes the elephants leave slow start (and thus
+/// hand off) deterministically rather than waiting for an ECMP collision.
+#[test]
+fn hybrid_engine_matches_packet_fcts_on_the_fattree() {
+    let pairs: &[(u32, u32, u64)] = &[
+        (0, 8, 3_000_000),
+        (1, 12, 2_500_000),
+        (4, 13, 2_000_000),
+        (5, 9, 70_000),
+        (2, 14, 50_000),
+        (6, 10, 90_000),
+        (3, 11, 30_000),
+    ];
+    let cfg = ExperimentConfig {
+        topology: TopologySpec::FatTree(FatTreeConfig::small()),
+        workload: WorkloadSpec::Custom(mixed_flows(pairs)),
+        protocol: Protocol::Tcp,
+        transport: TransportConfig {
+            initial_ssthresh: 100_000,
+            ..TransportConfig::low_min_rto()
+        },
+        seed: 23,
+        ..ExperimentConfig::default()
+    };
+    assert_engines_agree("fattree", cfg, pairs, 500_000);
+}
+
+/// Flows that never reach the fluid path must be *byte-identical* between
+/// the engines: with every flow below the handoff threshold the hybrid
+/// engine installs no reservation and schedules no epoch, so the packet
+/// schedule — and therefore every FCT and every counter — is exactly the
+/// packet engine's.
+#[test]
+fn hybrid_engine_is_byte_identical_when_no_flow_goes_fluid() {
+    let pairs: &[(u32, u32, u64)] = &[
+        (0, 8, 70_000),
+        (1, 12, 90_000),
+        (5, 9, 50_000),
+        (2, 14, 30_000),
+    ];
+    let base = ExperimentConfig {
+        topology: TopologySpec::FatTree(FatTreeConfig::small()),
+        workload: WorkloadSpec::Custom(mixed_flows(pairs)),
+        protocol: Protocol::mmptcp_default(),
+        seed: 29,
+        ..ExperimentConfig::default()
+    };
+    let packet = mmptcp::run(ExperimentConfig {
+        engine: Engine::Packet,
+        ..base.clone()
+    });
+    let hybrid = mmptcp::run(ExperimentConfig {
+        engine: Engine::hybrid_default(),
+        ..base
+    });
+    assert_eq!(hybrid.audit.fluid_delivered_bytes, 0);
+    assert_eq!(packet.short_fcts_ms(), hybrid.short_fcts_ms());
+    assert_eq!(packet.counters, hybrid.counters);
+    assert_eq!(packet.loss, hybrid.loss);
+}
+
+/// Conservation across the catalog under the hybrid engine: every
+/// scenario's first fast config re-run with `Engine::hybrid_default()`
+/// (plus the link-failure scenario's degraded-fabric config, so build-time
+/// failures and fluid handoff are exercised together). The packet law is
+/// untouched by fluid bytes and the fluid ledger stays within the bounded
+/// workload.
+#[test]
+fn conservation_laws_hold_on_the_hybrid_engine() {
+    let mut configs = Vec::new();
+    for (i, s) in catalog().iter().enumerate() {
+        let mut expanded = s.configs(Fidelity::Fast);
+        let (label, mut cfg) = expanded.swap_remove(0);
+        cfg.engine = Engine::hybrid_default();
+        cfg.seed = 101 + i as u64;
+        configs.push((format!("{} / {label} hybrid", s.name), cfg));
+    }
+    // The degraded-fabric config of the link-failure scenario (its first
+    // config is the 0-failures baseline).
+    let failure = catalog()
+        .iter()
+        .find(|s| s.name == "link-failure")
+        .expect("link-failure scenario exists");
+    let (label, mut cfg) = failure
+        .configs(Fidelity::Fast)
+        .into_iter()
+        .last()
+        .expect("link-failure expands");
+    assert!(label.contains("250/1000"), "expected the degraded config");
+    cfg.engine = Engine::hybrid_default();
+    cfg.seed = 251;
+    configs.push((format!("link-failure / {label} hybrid"), cfg));
+
+    let results = Driver::new().run_labelled(configs);
+    for (label, r) in &results {
+        r.check_conservation()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(
+            r.counters.delivered_to_hosts > 0,
+            "{label}: no packets delivered?"
+        );
+    }
+}
+
+/// Mid-run link failure while flows are in fluid mode: the epoch triggered
+/// by `notify_topology_changed` must re-walk every fluid path onto the
+/// surviving ECMP members, the flows must still complete with exactly their
+/// sizes, and the packet conservation law must hold across the transition.
+#[test]
+fn fluid_flows_survive_a_mid_run_link_failure() {
+    let topo = topology::fattree::build(FatTreeConfig::small());
+    let hosts = topo.hosts.clone();
+    // Every aggregation->core link (both directions), harvested before the
+    // simulator takes the network. Removing each from its emitting switch's
+    // groups degrades the fabric as far as ECMP allows (a group's last
+    // member is never removed, so nothing blackholes).
+    let agg_core: Vec<(netsim::LinkId, netsim::NodeId)> = topo
+        .links_of_tier(topology::LinkTier::AggregationCore)
+        .into_iter()
+        .map(|id| (id, topo.network.link(id).from))
+        .collect();
+    assert!(!agg_core.is_empty(), "small fat-tree has agg-core links");
+
+    let mut sim = netsim::Simulator::new(topo.network, 1);
+    sim.set_fluid_threshold(Some(200_000));
+    let sizes: &[(u32, u32, u64)] = &[(0, 8, 3_000_000), (1, 12, 3_000_000)];
+    for (i, (src, dst, bytes)) in sizes.iter().enumerate() {
+        let flow = netsim::FlowId(i as u64);
+        // Finite ssthresh: leave slow start (and hand off) without needing
+        // a loss first.
+        let cfg = TransportConfig {
+            initial_ssthresh: 64_000,
+            ..TransportConfig::default()
+        };
+        let tx = transport::TcpSender::new(
+            cfg,
+            flow,
+            Addr(*src),
+            Addr(*dst),
+            40_000 + i as u16,
+            80,
+            Some(*bytes),
+        );
+        sim.register_agent(hosts[*src as usize], flow, Box::new(tx));
+        sim.register_agent(
+            hosts[*dst as usize],
+            flow,
+            Box::new(transport::TransportReceiver::new(flow)),
+        );
+        sim.schedule_flow_start(SimTime::from_millis(1), hosts[*src as usize], flow);
+    }
+
+    let cap = SimTime::from_secs(5);
+    let mut failed_at = None;
+    let mut completions = std::collections::HashMap::new();
+    while sim.now() < cap && sim.pending_events() > 0 {
+        let next = (sim.now() + SimDuration::from_millis(1)).min(cap);
+        sim.run_until(next);
+        for s in sim.drain_signals() {
+            if let netsim::Signal::FlowCompleted { flow, bytes, .. } = s {
+                completions.insert(flow, bytes);
+            }
+        }
+        if failed_at.is_none() && sim.fluid_flows_active() > 0 {
+            // Both elephants are in fluid mode (or about to be): withdraw
+            // the aggregation->core uplinks mid-run.
+            for (link, from) in &agg_core {
+                sim.network_mut().switch_mut(*from).remove_link(*link);
+            }
+            sim.notify_topology_changed();
+            failed_at = Some(sim.now());
+        }
+        if completions.len() == sizes.len() {
+            break;
+        }
+    }
+    assert!(
+        failed_at.is_some(),
+        "no flow ever entered fluid mode — the handoff premise broke"
+    );
+    sim.finalize();
+    for s in sim.drain_signals() {
+        if let netsim::Signal::FlowCompleted { flow, bytes, .. } = s {
+            completions.insert(flow, bytes);
+        }
+    }
+    for (i, (_, _, bytes)) in sizes.iter().enumerate() {
+        assert_eq!(
+            completions.get(&netsim::FlowId(i as u64)),
+            Some(bytes),
+            "flow {i} must deliver exactly its size across the failure"
+        );
+    }
+    assert!(sim.fluid_delivered_bytes() > 0, "fluid path never engaged");
+    assert!(sim.fluid_delivered_bytes() <= sizes.iter().map(|(_, _, b)| *b).sum::<u64>());
+
+    // Packet conservation across the transition: fluid bytes ride no
+    // packets, so the law is exactly the packet engine's.
+    let loss = metrics::loss_report(sim.network());
+    let offered =
+        loss.edge.offered + loss.aggregation.offered + loss.core.offered + loss.host.offered;
+    let backlog: u64 = sim
+        .network()
+        .links()
+        .iter()
+        .map(|l| l.backlog() as u64)
+        .sum();
+    let counters = sim.counters();
+    assert_eq!(
+        offered,
+        counters.delivered_to_hosts
+            + counters.forwarded
+            + counters.dropped
+            + sim.in_flight_packets() as u64
+            + backlog,
+        "packet conservation across the mid-run failure"
+    );
+}
+
 /// The same degraded fabric under every spraying policy: completion and
 /// conservation hold regardless of how the fabric spreads packets.
 #[test]
