@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! scenarios list
-//! scenarios run <name>... [--full | --paper] [--seed N] [--engine packet|hybrid] [--threads N] [--json]
+//! scenarios run <name>... [--full | --paper] [--seed N] [--engine packet|hybrid] [--cc reno|cubic|bbr] [--threads N] [--json]
 //! scenarios check [<name>...] [--threads N]       # a.k.a. `scenarios --check`
 //! scenarios bless [<name>...] [--threads N]       # a.k.a. `scenarios --bless`
 //! scenarios conserve [<name>...] [--seeds N] [--all-configs] [--engine packet|hybrid] [--threads N]
@@ -29,7 +29,10 @@
 //! exact engine on scenarios (like `mega-load-sweep`) that default to
 //! hybrid. Golden snapshots pin each scenario's own engine choice, so
 //! `check`/`bless` reject the flag; `conserve` accepts it and sweeps the
-//! conservation laws under the chosen engine.
+//! conservation laws under the chosen engine. `--cc reno|cubic|bbr`
+//! similarly overrides the congestion controller on every selected run
+//! (run/trace/conserve only — goldens pin each scenario's own controller
+//! axis, so `check`/`bless` reject it).
 //!
 //! `check` compares against the golden snapshots and exits non-zero on any
 //! drift, writing a line diff per drifted scenario to `target/golden-diff/`
@@ -60,6 +63,7 @@ use mmptcp::scenario::{catalog, find, Fidelity, Scenario};
 use mmptcp::{Engine, ExperimentConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use transport::CongestionControl;
 
 /// Repository-root-relative directory holding the golden snapshots.
 fn golden_dir() -> PathBuf {
@@ -80,6 +84,7 @@ struct Options {
     seed: Option<u64>,
     seeds: u64,
     engine: Option<Engine>,
+    cc: Option<CongestionControl>,
     all_configs: bool,
     json: bool,
     flow: Option<u64>,
@@ -98,10 +103,10 @@ enum Command {
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios <list|run|check|bless|conserve|trace> [<name>...] [--full | --paper] \
-         [--seed N] [--seeds N] [--engine packet|hybrid] [--all-configs] [--threads N] [--json] \
-         [--flow ID] [--links]\n\
+         [--seed N] [--seeds N] [--engine packet|hybrid] [--cc reno|cubic|bbr] [--all-configs] \
+         [--threads N] [--json] [--flow ID] [--links]\n\
          flags --check / --bless select the corresponding command directly; check/bless \
-         always run the pinned fast fidelity and reject --full/--paper/--seed/--engine;\n\
+         always run the pinned fast fidelity and reject --full/--paper/--seed/--engine/--cc;\n\
          conserve sweeps --seeds N seeds (default 16) over every scenario's first fast \
          config (--all-configs: every config) and checks the conservation laws, optionally \
          under an --engine override;\n\
@@ -124,6 +129,7 @@ fn parse_args() -> Options {
         seed: None,
         seeds: 16,
         engine: None,
+        cc: None,
         all_configs: false,
         json: false,
         flow: None,
@@ -158,6 +164,10 @@ fn parse_args() -> Options {
                     "hybrid" => Engine::hybrid_default(),
                     _ => usage(),
                 });
+            }
+            "--cc" => {
+                let Some(v) = args.next() else { usage() };
+                opts.cc = Some(CongestionControl::parse(&v).unwrap_or_else(|| usage()));
             }
             "--full" => {
                 opts.fidelity = Fidelity::Full;
@@ -201,6 +211,13 @@ fn parse_args() -> Options {
         eprintln!(
             "golden snapshots pin each scenario's own engine; drop --engine \
              (use `scenarios run <name> --engine ...` or `scenarios conserve --engine ...`)"
+        );
+        std::process::exit(2);
+    }
+    if matches!(opts.command, Command::Check | Command::Bless) && opts.cc.is_some() {
+        eprintln!(
+            "golden snapshots pin each scenario's own congestion-control axis; drop --cc \
+             (use `scenarios run <name> --cc ...` or `scenarios conserve --cc ...`)"
         );
         std::process::exit(2);
     }
@@ -249,7 +266,7 @@ fn cmd_list() -> ExitCode {
 fn cmd_run(opts: &Options) -> ExitCode {
     let fidelity = opts.fidelity;
     for s in select(&opts.names, false) {
-        let run = if opts.seed.is_none() && opts.engine.is_none() {
+        let run = if opts.seed.is_none() && opts.engine.is_none() && opts.cc.is_none() {
             s.run(fidelity, opts.threads)
         } else {
             let configs: Vec<(String, ExperimentConfig)> = s
@@ -261,6 +278,9 @@ fn cmd_run(opts: &Options) -> ExitCode {
                     }
                     if let Some(engine) = opts.engine {
                         cfg.engine = engine;
+                    }
+                    if let Some(cc) = opts.cc {
+                        cfg.transport.cc = cc;
                     }
                     (label, cfg)
                 })
@@ -373,11 +393,15 @@ fn cmd_conserve(opts: &Options) -> ExitCode {
                 if let Some(engine) = opts.engine {
                     c.engine = engine;
                 }
+                if let Some(cc) = opts.cc {
+                    c.transport.cc = cc;
+                }
                 configs.push((
                     format!(
-                        "{} / {label} seed={seed} engine={}",
+                        "{} / {label} seed={seed} engine={} cc={}",
                         s.name,
-                        c.engine.label()
+                        c.engine.label(),
+                        c.transport.cc.name()
                     ),
                     c,
                 ));
@@ -447,6 +471,9 @@ fn cmd_trace(opts: &Options) -> ExitCode {
             cfg.trace = metrics::TraceConfig::On(settings);
             if let Some(seed) = opts.seed {
                 cfg.seed = seed;
+            }
+            if let Some(cc) = opts.cc {
+                cfg.transport.cc = cc;
             }
         }
         let results = mmptcp::Driver::with_threads(opts.threads).run_labelled(configs);

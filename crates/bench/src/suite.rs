@@ -18,8 +18,9 @@
 use crate::harness::{black_box, Harness};
 use mmptcp::prelude::*;
 use netsim::event::{Event, EventQueue};
-use netsim::SimRng;
+use netsim::{SimDuration, SimRng};
 use topology::fattree;
+use transport::{CongestionControl, RttEstimator};
 
 /// Relative median slow-down that fails the nightly job (+10 %).
 pub const REGRESSION_THRESHOLD: f64 = 0.10;
@@ -149,6 +150,34 @@ pub fn run_nightly_suite(samples: usize) -> Vec<(String, u128)> {
                 .count,
         )
     });
+
+    // Per-ack cost of each congestion controller behind the `transport::cc`
+    // trait: drive 100k full-MSS ACK rounds (with the per-round-trip hook
+    // every ~100 ACKs, as a sender at a 100-packet window would) through the
+    // same virtual dispatch the subflow hot path uses. Pins the trait-object
+    // overhead and each controller's arithmetic against its own baseline.
+    for cc in [
+        CongestionControl::Reno,
+        CongestionControl::Cubic,
+        CongestionControl::Bbr,
+    ] {
+        let cfg = TransportConfig::default();
+        let mut rtt = RttEstimator::new(cfg.min_rto, cfg.initial_rto, cfg.max_rto);
+        rtt.on_sample(SimDuration::from_micros(120));
+        h.bench(&format!("cc_hot_path_{}", cc.name()), || {
+            let mut ctl = cc.build(&cfg);
+            ctl.on_established(SimTime::from_millis(1), &rtt);
+            let mut now = SimTime::from_millis(1);
+            for i in 0u64..100_000 {
+                now += SimDuration::from_micros(1);
+                ctl.on_ack(1_400, now, &rtt, None);
+                if i % 100 == 99 {
+                    ctl.on_round_trip(now, &rtt);
+                }
+            }
+            black_box(ctl.cwnd())
+        });
+    }
 
     h.results()
         .iter()

@@ -130,6 +130,9 @@ pub struct FlowPoint {
     pub srtt_us: u64,
     /// Subflow-level bytes in flight.
     pub outstanding: u64,
+    /// Stable label of the congestion controller driving the subflow
+    /// ("reno" / "cubic" / "bbr").
+    pub cc: &'static str,
 }
 
 /// One point of a link's telemetry series. Counter fields are deltas over
@@ -356,6 +359,7 @@ impl TraceSink {
                     cwnd,
                     srtt_us,
                     outstanding,
+                    cc,
                 } if self.wants_flow(flow.0) => {
                     let cap = self.settings.ring_capacity;
                     self.flows
@@ -366,6 +370,7 @@ impl TraceSink {
                             cwnd: *cwnd,
                             srtt_us: *srtt_us,
                             outstanding: *outstanding,
+                            cc,
                         });
                 }
                 Signal::PhaseSwitched {
@@ -489,14 +494,17 @@ impl TraceSink {
     // --- export ----------------------------------------------------------
 
     /// The per-subflow congestion series as CSV. Schema (one row per
-    /// retained sample): `flow,subflow,t_ns,cwnd_bytes,srtt_us,
-    /// outstanding_bytes`, sorted by flow, subflow, time.
+    /// retained sample): `flow,subflow,cc,t_ns,cwnd_bytes,srtt_us,
+    /// outstanding_bytes`, sorted by flow, subflow, time. `cc` is the
+    /// congestion controller's stable label, so mixed-controller experiments
+    /// remain separable in one file.
     pub fn flows_csv(&self) -> String {
-        let mut out = String::from("flow,subflow,t_ns,cwnd_bytes,srtt_us,outstanding_bytes\n");
+        let mut out = String::from("flow,subflow,cc,t_ns,cwnd_bytes,srtt_us,outstanding_bytes\n");
         for ((flow, subflow), series) in &self.flows {
             for p in series.items() {
                 out.push_str(&format!(
-                    "{flow},{subflow},{},{},{},{}\n",
+                    "{flow},{subflow},{},{},{},{},{}\n",
+                    p.cc,
                     p.at.as_nanos(),
                     p.cwnd,
                     p.srtt_us,
@@ -570,7 +578,7 @@ impl TraceSink {
                 "  \"sample_every_ns\": {every},\n",
                 "  \"ring_capacity\": {cap},\n",
                 "  \"files\": {{\n",
-                "    \"flows.csv\": \"flow,subflow,t_ns,cwnd_bytes,srtt_us,outstanding_bytes — one row per retained cwnd sample, sorted by flow/subflow/time\",\n",
+                "    \"flows.csv\": \"flow,subflow,cc,t_ns,cwnd_bytes,srtt_us,outstanding_bytes — one row per retained cwnd sample (cc = congestion controller label), sorted by flow/subflow/time\",\n",
                 "    \"events.csv\": \"flow,subflow,t_ns,event,detail — discrete events (phase_switch carries bytes-sent in detail) in simulated-time order\",\n",
                 "    \"links.csv\": \"link,t_ns,depth_packets,tx_packets,tx_bytes,drops,ecn_marks,utilisation — window deltas ending at t_ns; depth is instantaneous\"\n",
                 "  }},\n",
@@ -643,6 +651,7 @@ mod tests {
             cwnd,
             srtt_us: 100,
             outstanding: cwnd / 2,
+            cc: "reno",
         }
     }
 

@@ -23,6 +23,7 @@ use crate::results::ExperimentResults;
 use metrics::report::{FctDoc, RunReport, ScenarioReport, TierCounts};
 use netsim::{PathPolicy, SimDuration, SimTime};
 use topology::{FatTreeConfig, LinkFailureSpec};
+use transport::CongestionControl;
 use workload::{ArrivalProcess, FlowSizeModel, PaperWorkloadConfig, TrafficMatrix};
 
 /// The scale a scenario expands to.
@@ -147,7 +148,7 @@ fn run_report(label: &str, r: &ExperimentResults) -> RunReport {
 
 /// The full scenario catalog, in stable display order.
 pub fn catalog() -> &'static [Scenario] {
-    static CATALOG: [Scenario; 11] = [
+    static CATALOG: [Scenario; 12] = [
         Scenario {
             name: "fig1a",
             description: "Figure 1(a): MPTCP short-flow FCT vs subflow count (1..9)",
@@ -207,6 +208,12 @@ pub fn catalog() -> &'static [Scenario] {
             description: "Every transport (incl. RepFlow/RepSYN, DiffFlow routing) x empirical workload x load",
             golden: true,
             build: battle_matrix,
+        },
+        Scenario {
+            name: "cc-battle",
+            description: "Congestion-controller duel: Reno vs CUBIC vs BBR vs DCTCP on the Figure-1 cell",
+            golden: true,
+            build: cc_battle,
         },
         Scenario {
             name: "mega-load-sweep",
@@ -508,6 +515,23 @@ fn battle_matrix(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
             ),
         ],
     };
+    // The congestion-control axis joins the battle at the larger fidelities:
+    // single-path TCP re-run under CUBIC and BBR. The fast (golden-pinned)
+    // arm stays Reno-only so the snapshot grid keeps its size.
+    let cc_of = |variant: &str| match variant {
+        "tcp-cubic" => CongestionControl::Cubic,
+        "tcp-bbr" => CongestionControl::Bbr,
+        _ => CongestionControl::Reno,
+    };
+    let variants: Vec<(&'static str, Protocol, PathPolicy)> = match fidelity {
+        Fidelity::Fast => variants,
+        _ => {
+            let mut v = variants;
+            v.push(("tcp-cubic", Protocol::Tcp, PathPolicy::FlowHash));
+            v.push(("tcp-bbr", Protocol::Tcp, PathPolicy::FlowHash));
+            v
+        }
+    };
     let workloads: &[(&str, FlowSizeModel)] = &[
         ("web-search", FlowSizeModel::WebSearch),
         ("data-mining", FlowSizeModel::DataMining),
@@ -540,6 +564,7 @@ fn battle_matrix(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
                     };
                 });
                 cfg.path_policy = policy;
+                cfg.transport.cc = cc_of(variant);
                 // Empirical-CDF mice bursts displace elephants for hundreds
                 // of milliseconds at a time; a multi-second goodput window
                 // averages over those transients so long-flow comparisons
@@ -561,6 +586,41 @@ fn battle_matrix(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
         }
     }
     out
+}
+
+/// The congestion-controller battleground: the same Figure-1 cell
+/// (permutation matrix, short flows arriving over long background flows)
+/// run under every controller behind the `transport::cc` trait — single-path
+/// TCP with Reno, CUBIC and BBR, DCTCP (the ECN responder layered on Reno),
+/// and MMPTCP-8 under Reno vs BBR. The fast variant is golden-pinned, so the
+/// per-ack arithmetic of every controller (and the DCTCP-on-trait layering)
+/// is frozen as an explicit, reviewable snapshot; it is also the only fast
+/// golden that exercises `Protocol::Dctcp` at all.
+fn cc_battle(fidelity: Fidelity) -> Vec<(String, ExperimentConfig)> {
+    let cells: &[(&str, Protocol, CongestionControl)] = &[
+        ("tcp-reno", Protocol::Tcp, CongestionControl::Reno),
+        ("tcp-cubic", Protocol::Tcp, CongestionControl::Cubic),
+        ("tcp-bbr", Protocol::Tcp, CongestionControl::Bbr),
+        ("dctcp", Protocol::Dctcp, CongestionControl::Reno),
+        (
+            "mmptcp-8-reno",
+            Protocol::mmptcp_default(),
+            CongestionControl::Reno,
+        ),
+        (
+            "mmptcp-8-bbr",
+            Protocol::mmptcp_default(),
+            CongestionControl::Bbr,
+        ),
+    ];
+    cells
+        .iter()
+        .map(|&(label, p, cc)| {
+            let mut cfg = base(fidelity, p);
+            cfg.transport.cc = cc;
+            (label.to_string(), cfg)
+        })
+        .collect()
 }
 
 /// Hybrid-engine stress scenario: a flow-count sweep whose top rung is only
@@ -782,11 +842,12 @@ mod tests {
 
     #[test]
     fn battle_matrix_crosses_variants_workloads_and_loads() {
-        // Fast: 5 variants x 2 workloads x 2 loads x 2 seeds; full: 8 x 2 x 4.
+        // Fast: 5 variants x 2 workloads x 2 loads x 2 seeds; full: 10 x 2 x 4
+        // (the 8 transport variants plus the tcp-cubic / tcp-bbr CC cells).
         let fast = find("battle-matrix").unwrap().configs(Fidelity::Fast);
         assert_eq!(fast.len(), 5 * 2 * 2 * 2);
         let full = find("battle-matrix").unwrap().configs(Fidelity::Full);
-        assert_eq!(full.len(), 8 * 2 * 4);
+        assert_eq!(full.len(), 10 * 2 * 4);
         // The DiffFlow variant carries the size-aware path policy; everything
         // else runs plain per-flow ECMP.
         for (label, cfg) in &fast {
@@ -814,6 +875,46 @@ mod tests {
             )));
         assert!(full.iter().any(|(l, c)| l.starts_with("repsyn")
             && matches!(c.protocol, Protocol::RepFlow { syn_only: true, .. })));
+        // The CC axis: tcp-cubic / tcp-bbr carry their controller, everything
+        // else (fast arm included: golden-pinned) stays on the Reno default.
+        assert!(
+            full.iter()
+                .any(|(l, c)| l.starts_with("tcp-cubic")
+                    && c.transport.cc == CongestionControl::Cubic)
+        );
+        assert!(full
+            .iter()
+            .any(|(l, c)| l.starts_with("tcp-bbr") && c.transport.cc == CongestionControl::Bbr));
+        for (label, cfg) in &fast {
+            assert_eq!(cfg.transport.cc, CongestionControl::Reno, "{label}");
+        }
+    }
+
+    /// The cc-battle scenario wires each cell's controller through
+    /// `ExperimentConfig::transport` and keeps DCTCP on the ECN-responder
+    /// layering over Reno.
+    #[test]
+    fn cc_battle_wires_the_controller_axis() {
+        let configs = find("cc-battle").unwrap().configs(Fidelity::Fast);
+        assert_eq!(configs.len(), 6);
+        let cc_of = |name: &str| {
+            configs
+                .iter()
+                .find(|(l, _)| l == name)
+                .map(|(_, c)| c.transport.cc)
+                .unwrap_or_else(|| panic!("missing cell {name}"))
+        };
+        assert_eq!(cc_of("tcp-reno"), CongestionControl::Reno);
+        assert_eq!(cc_of("tcp-cubic"), CongestionControl::Cubic);
+        assert_eq!(cc_of("tcp-bbr"), CongestionControl::Bbr);
+        assert_eq!(cc_of("dctcp"), CongestionControl::Reno);
+        assert_eq!(cc_of("mmptcp-8-bbr"), CongestionControl::Bbr);
+        let dctcp = &configs.iter().find(|(l, _)| l == "dctcp").unwrap().1;
+        assert_eq!(dctcp.protocol, Protocol::Dctcp);
+        // Apart from the controller override, every cell is the plain
+        // fast-fidelity Figure-1 base — cc-battle isolates the CC axis.
+        let (_, tcp_reno) = configs.iter().find(|(l, _)| l == "tcp-reno").unwrap();
+        assert_eq!(*tcp_reno, fast_base(Protocol::Tcp));
     }
 
     #[test]

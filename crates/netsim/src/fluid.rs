@@ -60,6 +60,25 @@ pub const FLUID_REFRESH: SimDuration = SimDuration::from_millis(2);
 /// fluid capacity on a fully packet-busy link.
 const RESERVE_HEADROOM: f64 = 0.10;
 
+/// Which congestion controller's growth/backoff rules a fluid flow's pacing
+/// cap follows between epochs — the flow-level approximation of the
+/// transport's `CongestionController` (netsim cannot depend on the transport
+/// crate, so the axis is mirrored here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FluidCc {
+    /// AIMD: halve the cap on a shared-link drop, grow one MSS per RTT
+    /// otherwise. The pre-refactor behaviour, pinned by the goldens.
+    #[default]
+    Reno,
+    /// CUBIC: 0.7 backoff on drop, then cubic cap growth
+    /// `W(t) = C·(t−K)³ + W_max` translated to rate space via the base RTT.
+    Cubic,
+    /// BBR: gentle 0.7 backoff on drop (loss is not the primary signal),
+    /// multiplicative probing between drops — the 1.25× probe phase
+    /// amortised over the 8-phase gain cycle.
+    Bbr,
+}
+
 /// A transport's request to move the rest of a flow into fluid mode,
 /// produced via [`crate::agent::AgentCtx::request_fluid_handoff`].
 #[derive(Debug, Clone)]
@@ -88,6 +107,8 @@ pub struct FluidHandoff {
     pub srtt: SimDuration,
     /// The transport's segment size (additive growth is one MSS per RTT).
     pub mss: u32,
+    /// The congestion-control rule set the cap follows between epochs.
+    pub cc: FluidCc,
 }
 
 /// Translate a congestion window and smoothed RTT into a pacing rate in
@@ -138,6 +159,12 @@ struct FluidFlow {
     srtt: SimDuration,
     mss: u32,
     last_advance: SimTime,
+    /// Cap dynamics rule set (mirrors the transport's controller).
+    cc: FluidCc,
+    /// CUBIC state: cap (bps) at the last backoff.
+    cc_wmax_bps: f64,
+    /// CUBIC state: seconds elapsed in the current growth epoch.
+    cc_epoch_s: f64,
 }
 
 impl FluidFlow {
@@ -243,6 +270,9 @@ impl FluidEngine {
             },
             mss: handoff.mss.max(1),
             last_advance: now,
+            cc: handoff.cc,
+            cc_wmax_bps: (handoff.rate_cap_bps as f64).max(1.0),
+            cc_epoch_s: 0.0,
         };
         for l in &f.path {
             *self.users.entry(*l).or_insert(0) += 1;
@@ -274,12 +304,44 @@ impl FluidEngine {
                     delivered_delta += bytes;
                 }
                 let hit = f.path.iter().any(|l| dropped.contains(l));
-                if hit {
-                    f.cap_bps = (f.cap_bps / 2.0).max(f.min_cap_bps());
-                } else {
-                    // d(rate)/dt of one-MSS-per-RTT additive increase.
-                    let srtt_s = f.srtt.as_secs_f64().max(1e-6);
-                    f.cap_bps += 8.0 * f.mss as f64 * dt.as_secs_f64() / (srtt_s * srtt_s);
+                match f.cc {
+                    FluidCc::Reno => {
+                        if hit {
+                            f.cap_bps = (f.cap_bps / 2.0).max(f.min_cap_bps());
+                        } else {
+                            // d(rate)/dt of one-MSS-per-RTT additive increase.
+                            let srtt_s = f.srtt.as_secs_f64().max(1e-6);
+                            f.cap_bps += 8.0 * f.mss as f64 * dt.as_secs_f64() / (srtt_s * srtt_s);
+                        }
+                    }
+                    FluidCc::Cubic => {
+                        if hit {
+                            f.cc_wmax_bps = f.cap_bps;
+                            f.cap_bps = (f.cap_bps * 0.7).max(f.min_cap_bps());
+                            f.cc_epoch_s = 0.0;
+                        } else {
+                            // RFC 8312's W(t) = C·(t−K)³ + W_max, windows in
+                            // bytes converted to rates via the base RTT.
+                            f.cc_epoch_s += dt.as_secs_f64();
+                            let srtt_s = f.srtt.as_secs_f64().max(1e-6);
+                            let c_bytes = 0.4 * f.mss as f64;
+                            let wmax_bytes = f.cc_wmax_bps * srtt_s / 8.0;
+                            let k = (wmax_bytes * 0.3 / c_bytes).cbrt();
+                            let w = c_bytes * (f.cc_epoch_s - k).powi(3) + wmax_bytes;
+                            f.cap_bps = (w * 8.0 / srtt_s).max(f.min_cap_bps());
+                        }
+                    }
+                    FluidCc::Bbr => {
+                        if hit {
+                            f.cap_bps = (f.cap_bps * 0.7).max(f.min_cap_bps());
+                        } else {
+                            // The 1.25× probe phase, amortised over the
+                            // 8-phase gain cycle (one phase per RTT).
+                            let srtt_s = f.srtt.as_secs_f64().max(1e-6);
+                            let gain = 1.0 + 0.25 * (dt.as_secs_f64() / (8.0 * srtt_s)).min(1.0);
+                            f.cap_bps *= gain;
+                        }
+                    }
                 }
                 f.last_advance = now;
             }
@@ -559,6 +621,7 @@ mod tests {
             rate_cap_bps: cap_bps,
             srtt: SimDuration::from_micros(200),
             mss: 1400,
+            cc: FluidCc::Reno,
         }
     }
 

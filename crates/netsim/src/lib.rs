@@ -66,7 +66,7 @@ pub mod trace;
 
 pub use agent::{Agent, AgentCtx, AgentEvent};
 pub use event::{BinaryHeapQueue, Event, EventQueue};
-pub use fluid::{FluidCompletion, FluidEngine, FluidHandoff};
+pub use fluid::{FluidCc, FluidCompletion, FluidEngine, FluidHandoff};
 pub use ids::{Addr, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig, LinkStats, LinkTelemetry};
 pub use network::Network;

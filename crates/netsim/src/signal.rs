@@ -116,6 +116,9 @@ pub enum Signal {
         srtt_us: u64,
         /// Subflow-level bytes in flight.
         outstanding: u64,
+        /// Stable label of the congestion controller driving this subflow
+        /// ("reno" / "cubic" / "bbr"), so traces distinguish controllers.
+        cc: &'static str,
     },
 }
 
@@ -205,6 +208,7 @@ mod tests {
                 cwnd: 14_000,
                 srtt_us: 120,
                 outstanding: 2_800,
+                cc: "reno",
             },
         ];
         for (i, s) in signals.iter().enumerate() {

@@ -1,5 +1,6 @@
 //! Transport configuration shared by all protocol variants.
 
+use crate::cc::CongestionControl;
 use netsim::{SimDuration, DEFAULT_MSS};
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +33,9 @@ pub struct TransportConfig {
     /// Receive buffer advertised by the peer, in bytes. Effectively infinite
     /// by default (the paper's workloads are not receive-window limited).
     pub receive_window: u64,
+    /// Which congestion controller every subflow runs (the CC axis of an
+    /// experiment). Defaults to Reno, the paper's baseline.
+    pub cc: CongestionControl,
 }
 
 impl Default for TransportConfig {
@@ -47,6 +51,7 @@ impl Default for TransportConfig {
             ecn: false,
             dctcp_g: 1.0 / 16.0,
             receive_window: u64::MAX / 2,
+            cc: CongestionControl::Reno,
         }
     }
 }
@@ -89,6 +94,7 @@ mod tests {
         assert!(c.min_rto < c.initial_rto);
         assert!(c.initial_rto < c.max_rto);
         assert!(!c.ecn);
+        assert_eq!(c.cc, CongestionControl::Reno);
     }
 
     #[test]

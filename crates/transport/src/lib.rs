@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cc;
 pub mod config;
 pub mod d2tcp;
 pub mod mmptcp;
@@ -39,6 +40,7 @@ pub mod rtt;
 pub mod subflow;
 pub mod tcp;
 
+pub use cc::{Bbr, CongestionControl, CongestionController, Cubic, EcnResponder, Reno};
 pub use config::TransportConfig;
 pub use d2tcp::D2tcpSender;
 pub use mmptcp::{DupAckPolicy, MmptcpConfig, MmptcpPhase, MmptcpSender, SwitchStrategy};

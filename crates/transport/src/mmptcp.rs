@@ -544,7 +544,10 @@ impl MmptcpSender {
         for sf in self.subflows.iter().filter(|s| s.is_established()) {
             let Some(srtt) = sf.srtt() else { continue };
             out_of_slow_start |= !sf.in_slow_start();
-            rate_cap_bps = rate_cap_bps.saturating_add(pacing_rate_bps(sf.cwnd(), srtt));
+            rate_cap_bps = rate_cap_bps.saturating_add(
+                sf.cc_pacing_rate_bps()
+                    .unwrap_or_else(|| pacing_rate_bps(sf.cwnd(), srtt)),
+            );
             // Cap growth runs at the base (propagation) RTT: srtt is
             // queue-inflated at handoff time, and a frozen inflated value
             // would slow additive increase forever.
@@ -569,6 +572,7 @@ impl MmptcpSender {
             rate_cap_bps,
             srtt,
             mss,
+            cc: self.cfg.transport.cc.fluid(),
         });
         self.fluid_mode = true;
     }

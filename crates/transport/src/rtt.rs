@@ -9,6 +9,7 @@ use netsim::SimDuration;
 pub struct RttEstimator {
     srtt: Option<SimDuration>,
     min_rtt: Option<SimDuration>,
+    latest_rtt: Option<SimDuration>,
     rttvar: SimDuration,
     min_rto: SimDuration,
     initial_rto: SimDuration,
@@ -22,6 +23,7 @@ impl RttEstimator {
         RttEstimator {
             srtt: None,
             min_rtt: None,
+            latest_rtt: None,
             rttvar: SimDuration::ZERO,
             min_rto,
             initial_rto,
@@ -32,6 +34,7 @@ impl RttEstimator {
 
     /// Incorporate a new RTT sample (RFC 6298 §2).
     pub fn on_sample(&mut self, sample: SimDuration) {
+        self.latest_rtt = Some(sample);
         self.min_rtt = Some(match self.min_rtt {
             None => sample,
             Some(m) => m.min(sample),
@@ -66,6 +69,12 @@ impl RttEstimator {
     /// of the queueing delay that inflates [`Self::srtt`] under load.
     pub fn min_rtt(&self) -> Option<SimDuration> {
         self.min_rtt
+    }
+
+    /// The most recent raw RTT sample, unsmoothed. BBR-style controllers use
+    /// this as the denominator of per-ACK delivery-rate samples.
+    pub fn latest_rtt(&self) -> Option<SimDuration> {
+        self.latest_rtt
     }
 
     /// The current retransmission timeout, including backoff.

@@ -14,7 +14,13 @@
 //!   randomised per packet, high duplicate-ACK threshold) and later opens
 //!   MPTCP subflows;
 //! * DCTCP is one subflow with `ecn` enabled.
+//!
+//! The congestion *response* itself — how the window grows and backs off —
+//! lives behind the [`crate::cc::CongestionController`] trait; the subflow
+//! only detects events (dup-ACK thresholds, partial ACKs, timeouts, spurious
+//! retransmissions, round-trip boundaries) and drives the trait object.
 
+use crate::cc::{CongestionController, EcnResponder};
 use crate::config::TransportConfig;
 use crate::rtt::RttEstimator;
 use netsim::{Addr, AgentCtx, Ecn, FlowId, Packet, PacketKind, Signal, SimTime};
@@ -91,8 +97,8 @@ pub struct Subflow {
     phase: Phase,
     snd_una: u64,
     snd_nxt: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    /// The congestion state machine this subflow drives.
+    cc: Box<dyn CongestionController>,
     dup_acks: u32,
     dupack_threshold: u32,
     in_recovery: bool,
@@ -107,8 +113,6 @@ pub struct Subflow {
     /// True from entering a fast-recovery episode until either an undo is
     /// performed or an RTO fires (timeouts are never undone).
     undo_armed: bool,
-    prior_cwnd: f64,
-    prior_ssthresh: f64,
     rtt: RttEstimator,
 
     /// Pending RTO deadline and the generation of the last armed timer.
@@ -123,16 +127,12 @@ pub struct Subflow {
     /// retransmission detection via receiver duplicate hints).
     last_retransmitted: Option<u64>,
 
-    // DCTCP state.
-    ecn_marked_bytes: u64,
-    ecn_total_bytes: u64,
-    dctcp_alpha: f64,
-    dctcp_window_end: u64,
-    /// Exponent applied to the marked fraction when reducing the window:
-    /// 1.0 is plain DCTCP; D²TCP's deadline-aware "gamma correction" uses
-    /// `d = Tc / D` (time needed over time remaining), so far-from-deadline
-    /// flows back off more and near-deadline flows less.
-    dctcp_penalty_exponent: f64,
+    /// DCTCP/D²TCP ECN response, present iff the config negotiates ECN.
+    ecn: Option<EcnResponder>,
+    /// Subflow sequence at which the current round trip ends (`snd_una`
+    /// crossing it completes the round): drives the ECN responder's α update
+    /// and the controller's `on_round_trip` hook.
+    round_end: u64,
 
     counters: SubflowCounters,
 }
@@ -151,6 +151,12 @@ impl Subflow {
         flow: FlowId,
     ) -> Self {
         let rtt = RttEstimator::new(cfg.min_rto, cfg.initial_rto, cfg.max_rto);
+        let cc = cfg.cc.build(&cfg);
+        let ecn = if cfg.ecn {
+            Some(EcnResponder::new(cfg.dctcp_g))
+        } else {
+            None
+        };
         Subflow {
             dupack_threshold: cfg.dupack_threshold,
             cfg,
@@ -164,25 +170,19 @@ impl Subflow {
             phase: Phase::Closed,
             snd_una: 0,
             snd_nxt: 0,
-            cwnd: 0.0,
-            ssthresh: cfg.initial_ssthresh as f64,
+            cc,
             dup_acks: 0,
             in_recovery: false,
             recover: 0,
             undo_on_spurious: false,
             undo_armed: false,
-            prior_cwnd: 0.0,
-            prior_ssthresh: 0.0,
             rtt,
             rto_deadline: None,
             timer_gen: 0,
             mappings: BTreeMap::new(),
             last_retransmitted: None,
-            ecn_marked_bytes: 0,
-            ecn_total_bytes: 0,
-            dctcp_alpha: 0.0,
-            dctcp_window_end: 0,
-            dctcp_penalty_exponent: 1.0,
+            ecn,
+            round_end: 0,
             counters: SubflowCounters::default(),
         }
     }
@@ -196,7 +196,25 @@ impl Subflow {
 
     /// Congestion window in bytes.
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.cc.cwnd()
+    }
+
+    /// Stable label of the congestion controller driving this subflow.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// The controller's explicit pacing rate (BBR), if it exports one.
+    /// `None` means pace from `cwnd / srtt` as always.
+    pub fn cc_pacing_rate_bps(&self) -> Option<u64> {
+        self.cc.pacing_rate_bps()
+    }
+
+    /// Force the controller's slow-start threshold — an instrumentation/test
+    /// hook (e.g. to pin a subflow into congestion avoidance), not part of
+    /// the normal event-driven flow.
+    pub fn set_ssthresh(&mut self, ssthresh: f64) {
+        self.cc.set_ssthresh(ssthresh);
     }
 
     /// Smoothed RTT, if measured.
@@ -230,8 +248,9 @@ impl Subflow {
             return 0;
         }
         let flight = self.outstanding() as f64;
-        if self.cwnd > flight {
-            (self.cwnd - flight) as u64
+        let cwnd = self.cc.cwnd();
+        if cwnd > flight {
+            (cwnd - flight) as u64
         } else {
             0
         }
@@ -265,19 +284,22 @@ impl Subflow {
 
     /// The DCTCP marked-fraction estimate (0 when ECN is off).
     pub fn dctcp_alpha(&self) -> f64 {
-        self.dctcp_alpha
+        self.ecn.map(|e| e.alpha()).unwrap_or(0.0)
     }
 
     /// Set D²TCP's deadline-imminence exponent `d` (clamped to a sane range;
     /// 1.0 reproduces plain DCTCP). Values below 1 make the flow hold its
-    /// window near a deadline; values above 1 make it yield.
+    /// window near a deadline; values above 1 make it yield. A no-op when
+    /// ECN is off (there is no responder to correct).
     pub fn set_dctcp_penalty_exponent(&mut self, d: f64) {
-        self.dctcp_penalty_exponent = d.clamp(0.25, 4.0);
+        if let Some(e) = &mut self.ecn {
+            e.set_penalty_exponent(d);
+        }
     }
 
-    /// The current D²TCP deadline-imminence exponent.
+    /// The current D²TCP deadline-imminence exponent (1.0 when ECN is off).
     pub fn dctcp_penalty_exponent(&self) -> f64 {
-        self.dctcp_penalty_exponent
+        self.ecn.map(|e| e.penalty_exponent()).unwrap_or(1.0)
     }
 
     /// The source port this subflow is pinned to (ignored per-packet when
@@ -286,11 +308,12 @@ impl Subflow {
         self.src_port
     }
 
-    /// Whether the subflow is still in slow start (`cwnd < ssthresh`). The
-    /// fluid fast path only accepts flows that have left slow start, so the
-    /// handed-off pacing rate reflects a congestion-avoidance estimate.
+    /// Whether the controller is still in its startup regime
+    /// (`cwnd < ssthresh` for loss-based controllers, `Startup` for BBR).
+    /// The fluid fast path only accepts flows that have left slow start, so
+    /// the handed-off pacing rate reflects a steady-state estimate.
     pub fn in_slow_start(&self) -> bool {
-        self.cwnd < self.ssthresh
+        self.cc.in_slow_start()
     }
 
     /// Build a representative data packet for a fluid handoff: same 5-tuple
@@ -332,9 +355,10 @@ impl Subflow {
             flow: self.flow,
             subflow: self.index,
             at: ctx.now(),
-            cwnd: self.cwnd as u64,
+            cwnd: self.cc.cwnd() as u64,
             srtt_us: self.rtt.srtt().map(|d| d.as_micros()).unwrap_or(0),
             outstanding: self.outstanding(),
+            cc: self.cc.name(),
         });
     }
 
@@ -448,9 +472,7 @@ impl Subflow {
                 // waiting one RTO per lost segment — essential when a burst
                 // overflows a drop-tail queue and the whole tail of the window
                 // is missing.
-                let flight = self.outstanding() as f64;
-                self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
-                self.cwnd = self.cfg.mss as f64;
+                self.cc.on_rto(self.outstanding());
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
                 self.dup_acks = 0;
@@ -559,7 +581,7 @@ impl Subflow {
         match pkt.kind {
             PacketKind::SynAck if self.phase == Phase::SynSent => {
                 self.phase = Phase::Established;
-                self.cwnd = self.cfg.initial_cwnd_bytes();
+                self.cc.on_established(ctx.now(), &self.rtt);
                 self.rtt.on_sample(ctx.now() - pkt.sent_at);
                 self.cancel_timer();
                 update.became_established = true;
@@ -599,18 +621,29 @@ impl Subflow {
                 if ack >= self.recover {
                     // Full ACK: leave recovery.
                     self.in_recovery = false;
-                    self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
+                    self.cc.on_recovery_exit();
                 } else {
                     // Partial ACK (NewReno): retransmit the next hole and stay
                     // in recovery.
                     self.retransmit_first_unacked(ctx);
                 }
             } else {
-                self.increase_cwnd(newly, lia);
+                self.cc.on_ack(newly, ctx.now(), &self.rtt, lia);
             }
 
-            if self.cfg.ecn {
-                self.dctcp_on_ack(newly, pkt.ecn_echo);
+            if let Some(resp) = &mut self.ecn {
+                resp.on_ack(newly, pkt.ecn_echo);
+            }
+            if self.snd_una >= self.round_end {
+                // One round trip of data completed: let the ECN responder
+                // fold in its marked fraction and give the controller its
+                // per-round hook, then start the next round at snd_nxt —
+                // exactly the window DCTCP's α-EWMA has always used.
+                if let Some(resp) = &mut self.ecn {
+                    resp.on_round_end(self.cc.as_mut());
+                }
+                self.cc.on_round_trip(ctx.now(), &self.rtt);
+                self.round_end = self.snd_nxt;
             }
 
             if self.is_drained() {
@@ -635,8 +668,7 @@ impl Subflow {
                             // reordering, so the window reduction (and any
                             // remaining recovery state) is reverted.
                             self.in_recovery = false;
-                            self.cwnd = self.prior_cwnd.max(self.cfg.mss as f64);
-                            self.ssthresh = self.prior_ssthresh.max(2.0 * self.cfg.mss as f64);
+                            self.cc.undo();
                             self.dup_acks = 0;
                             self.undo_armed = false;
                         }
@@ -645,13 +677,10 @@ impl Subflow {
             }
             self.dup_acks += 1;
             if !self.in_recovery && self.dup_acks >= self.dupack_threshold {
-                // Fast retransmit + enter fast recovery.
-                let flight = self.outstanding() as f64;
-                self.prior_cwnd = self.cwnd;
-                self.prior_ssthresh = self.ssthresh;
+                // Fast retransmit + enter fast recovery. The controller
+                // snapshots its pre-loss state for a possible undo.
+                self.cc.on_loss(self.outstanding());
                 self.undo_armed = true;
-                self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
-                self.cwnd = self.ssthresh + 3.0 * self.cfg.mss as f64;
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
                 self.counters.fast_retransmits += 1;
@@ -665,7 +694,7 @@ impl Subflow {
                 self.arm_timer(ctx);
             } else if self.in_recovery {
                 // Window inflation while the hole is being repaired.
-                self.cwnd += self.cfg.mss as f64;
+                self.cc.on_dup_ack();
             }
         }
         update
@@ -679,54 +708,6 @@ impl Subflow {
             } else {
                 break;
             }
-        }
-    }
-
-    fn increase_cwnd(&mut self, newly_acked: u64, lia: Option<LiaParams>) {
-        let mss = self.cfg.mss as f64;
-        if self.cwnd < self.ssthresh {
-            // Slow start: one MSS per MSS acknowledged (ABC-limited to 2*MSS).
-            self.cwnd += (newly_acked as f64).min(2.0 * mss);
-        } else {
-            match lia {
-                None => {
-                    // Reno congestion avoidance.
-                    self.cwnd += mss * (newly_acked as f64) / self.cwnd;
-                }
-                Some(p) => {
-                    // RFC 6356 linked increase.
-                    let total = p.total_cwnd_bytes.max(mss);
-                    let coupled = p.alpha * (newly_acked as f64) * mss / total;
-                    let uncoupled = (newly_acked as f64) * mss / self.cwnd;
-                    self.cwnd += coupled.min(uncoupled);
-                }
-            }
-        }
-        // Never let cwnd collapse below one segment.
-        self.cwnd = self.cwnd.max(mss);
-    }
-
-    fn dctcp_on_ack(&mut self, newly_acked: u64, marked: bool) {
-        self.ecn_total_bytes += newly_acked;
-        if marked {
-            self.ecn_marked_bytes += newly_acked;
-        }
-        if self.snd_una >= self.dctcp_window_end {
-            if self.ecn_total_bytes > 0 {
-                let frac = self.ecn_marked_bytes as f64 / self.ecn_total_bytes as f64;
-                let g = self.cfg.dctcp_g;
-                self.dctcp_alpha = (1.0 - g) * self.dctcp_alpha + g * frac;
-                if self.ecn_marked_bytes > 0 {
-                    // DCTCP reduces by alpha/2; D²TCP gamma-corrects the
-                    // penalty with the deadline-imminence exponent.
-                    let penalty = self.dctcp_alpha.powf(self.dctcp_penalty_exponent);
-                    self.cwnd = (self.cwnd * (1.0 - penalty / 2.0)).max(self.cfg.mss as f64);
-                    self.ssthresh = self.cwnd;
-                }
-            }
-            self.ecn_total_bytes = 0;
-            self.ecn_marked_bytes = 0;
-            self.dctcp_window_end = self.snd_nxt;
         }
     }
 }
@@ -857,7 +838,7 @@ mod tests {
         let mut sf = subflow(false);
         establish(&mut h, &mut sf);
         // Force congestion avoidance by setting ssthresh below cwnd.
-        sf.ssthresh = sf.cwnd() / 2.0;
+        sf.set_ssthresh(sf.cwnd() / 2.0);
         let before = sf.cwnd();
         h.with(|ctx| sf.send_segment(ctx, 0, MSS));
         let sent = h.now;
@@ -886,7 +867,7 @@ mod tests {
         // The retransmission is the segment starting at subflow seq 0.
         let retx = h.out.iter().find(|p| p.kind == PacketKind::Data).unwrap();
         assert_eq!(retx.seq, 0);
-        assert!(sf.in_recovery);
+        assert!(sf.in_recovery());
         assert!(h
             .signals
             .iter()
@@ -910,7 +891,7 @@ mod tests {
             h.with(|ctx| sf.on_packet(ctx, &ack, None));
         }
         assert_eq!(sf.counters().fast_retransmits, 0);
-        assert!(!sf.in_recovery);
+        assert!(!sf.in_recovery());
     }
 
     #[test]
@@ -969,18 +950,18 @@ mod tests {
             let ack = ack_for(&sf, 0, SimTime::ZERO);
             h.with(|ctx| sf.on_packet(ctx, &ack, None));
         }
-        assert!(sf.in_recovery);
+        assert!(sf.in_recovery());
         h.out.clear();
         // Partial ACK up to 2*MSS (segment 0 repaired, hole at segment 2).
         let ack = ack_for(&sf, 2 * MSS as u64, SimTime::ZERO);
         h.with(|ctx| sf.on_packet(ctx, &ack, None));
-        assert!(sf.in_recovery, "partial ACK keeps us in recovery");
+        assert!(sf.in_recovery(), "partial ACK keeps us in recovery");
         assert_eq!(h.out.len(), 1);
         assert_eq!(h.out[0].seq, 2 * MSS as u64);
         // Full ACK ends recovery.
         let ack = ack_for(&sf, 6 * MSS as u64, SimTime::ZERO);
         h.with(|ctx| sf.on_packet(ctx, &ack, None));
-        assert!(!sf.in_recovery);
+        assert!(!sf.in_recovery());
     }
 
     #[test]
@@ -988,7 +969,7 @@ mod tests {
         let mut h = Harness::new();
         let mut sf = subflow(false);
         establish(&mut h, &mut sf);
-        sf.ssthresh = sf.cwnd() / 2.0; // congestion avoidance
+        sf.set_ssthresh(sf.cwnd() / 2.0); // congestion avoidance
         let before = sf.cwnd();
         h.with(|ctx| sf.send_segment(ctx, 0, MSS));
         let lia = LiaParams {

@@ -142,7 +142,12 @@ impl TcpSender {
         let Some(srtt) = self.subflow.srtt() else {
             return;
         };
-        let rate_cap_bps = pacing_rate_bps(self.subflow.cwnd(), srtt);
+        // BBR exports an explicit model-based pacing rate; loss-based
+        // controllers fall back to the classic cwnd/srtt estimate.
+        let rate_cap_bps = self
+            .subflow
+            .cc_pacing_rate_bps()
+            .unwrap_or_else(|| pacing_rate_bps(self.subflow.cwnd(), srtt));
         let template = self
             .subflow
             .fluid_template(self.next_data_seq, self.cfg.mss, ctx.now());
@@ -157,6 +162,7 @@ impl TcpSender {
             // (packet mode self-corrects via ack clocking; fluid can't).
             srtt: self.subflow.min_rtt().unwrap_or(srtt),
             mss: self.cfg.mss,
+            cc: self.cfg.cc.fluid(),
         });
         self.fluid_mode = true;
     }

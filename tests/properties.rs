@@ -423,6 +423,89 @@ fn empirical_cdf_sample_means_converge_to_the_analytic_mean() {
     }
 }
 
+/// Every congestion controller behind the `transport::cc` trait keeps its
+/// state machine sane under arbitrary interleavings of ACK / dup-ACK /
+/// fast-retransmit loss / ECN / RTO / round-trip / undo events:
+///
+/// * `cwnd` stays finite and never drops below 1 MSS — the universal floor.
+///   (The ISSUE-level "2 MSS" floor holds right after a fast-retransmit
+///   loss, and that is asserted here at the loss site; it cannot hold
+///   universally because RFC 5681 collapses the window to one segment on an
+///   RTO, and a DCTCP-style ECN response may pin `ssthresh = cwnd` below
+///   2 MSS.)
+/// * `ssthresh` stays finite and strictly positive.
+/// * The advertised pacing rate, when present, is a positive number of bps.
+#[test]
+fn congestion_controllers_keep_their_state_sane_under_random_events() {
+    use transport::{CongestionControl, RttEstimator, TransportConfig};
+    let cfg = TransportConfig::default();
+    let mss = cfg.mss as f64;
+    let controllers = [
+        CongestionControl::Reno,
+        CongestionControl::Cubic,
+        CongestionControl::Bbr,
+    ];
+    for case in 0..CASES {
+        for (ci, cc) in controllers.iter().enumerate() {
+            let mut params = case_rng(7, case * 8 + ci as u64);
+            let mut rtt = RttEstimator::new(cfg.min_rto, cfg.initial_rto, cfg.max_rto);
+            let mut now = SimTime::from_millis(1);
+            let mut ctl = cc.build(&cfg);
+            ctl.on_established(now, &rtt);
+            for step in 0..200u32 {
+                now += SimDuration::from_micros(params.range(1u64..5_000));
+                if params.chance(0.7) {
+                    rtt.on_sample(SimDuration::from_micros(params.range(20u64..5_000)));
+                }
+                let flight = params.range(0u64..400_000);
+                match params.range(0u32..100) {
+                    0..=44 => {
+                        let newly = params.range(1u64..(3 * cfg.mss as u64));
+                        ctl.on_ack(newly, now, &rtt, None);
+                    }
+                    45..=54 => ctl.on_dup_ack(),
+                    55..=64 => {
+                        ctl.on_loss(flight);
+                        assert!(
+                            ctl.cwnd() >= 2.0 * mss,
+                            "{} case={case} step={step}: cwnd {} < 2 MSS right after \
+                             a fast-retransmit loss",
+                            cc.name(),
+                            ctl.cwnd()
+                        );
+                    }
+                    65..=72 => ctl.on_recovery_exit(),
+                    73..=80 => {
+                        let penalty = params.range(0u64..=1_000) as f64 / 1_000.0;
+                        ctl.on_ecn(penalty);
+                    }
+                    81..=87 => ctl.on_rto(flight),
+                    88..=94 => ctl.on_round_trip(now, &rtt),
+                    _ => ctl.undo(),
+                }
+                let (w, s) = (ctl.cwnd(), ctl.ssthresh());
+                assert!(
+                    w.is_finite() && w >= mss,
+                    "{} case={case} step={step}: cwnd {w} broke the 1-MSS floor",
+                    cc.name()
+                );
+                assert!(
+                    s.is_finite() && s > 0.0,
+                    "{} case={case} step={step}: ssthresh {s} not finite-positive",
+                    cc.name()
+                );
+                if let Some(rate) = ctl.pacing_rate_bps() {
+                    assert!(
+                        rate > 0,
+                        "{} case={case} step={step}: zero pacing rate advertised",
+                        cc.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The quantile function is monotone non-decreasing over [0, 1] — the basic
 /// soundness requirement for inverse-transform sampling.
 #[test]

@@ -106,9 +106,36 @@ fn traced_mmptcp_flow_shows_the_phase_switch() {
 
     // The CSV export is non-empty and matches the documented schema.
     let csv = sink.flows_csv();
-    assert!(csv.starts_with("flow,subflow,t_ns,cwnd_bytes,srtt_us,outstanding_bytes\n"));
+    assert!(csv.starts_with("flow,subflow,cc,t_ns,cwnd_bytes,srtt_us,outstanding_bytes\n"));
     assert!(csv.lines().count() > 2);
     assert!(sink.events_csv().contains("phase_switch"));
+}
+
+/// Every flows.csv row carries the stable label of the controller that
+/// produced the sample, so mixed-controller experiments stay separable.
+#[test]
+fn trace_rows_carry_the_congestion_controller_label() {
+    use mmptcp::transport::CongestionControl;
+    for (cc, label) in [
+        (CongestionControl::Reno, "reno"),
+        (CongestionControl::Cubic, "cubic"),
+        (CongestionControl::Bbr, "bbr"),
+    ] {
+        let mut cfg = tiny_config(Protocol::Tcp, 9, &[(0, 150_000)]);
+        cfg.transport.cc = cc;
+        let r = mmptcp::run(traced(cfg, false));
+        let csv = r.trace.as_ref().unwrap().flows_csv();
+        let mut rows = 0usize;
+        for line in csv.lines().skip(1) {
+            assert_eq!(
+                line.split(',').nth(2),
+                Some(label),
+                "cc column mismatch in {line:?}"
+            );
+            rows += 1;
+        }
+        assert!(rows > 0, "{label}: no flow samples recorded");
+    }
 }
 
 #[test]

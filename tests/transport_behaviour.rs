@@ -57,6 +57,36 @@ fn tcp_bulk_transfer_approaches_link_rate_on_dumbbell() {
     );
 }
 
+/// The congestion-control axis swaps the controller without breaking the
+/// transport state machine around it: CUBIC and BBR both drive the same
+/// 10 MB dumbbell transfer to completion at a sane effective rate (the same
+/// 80–400 ms acceptance band the Reno bulk-transfer test uses).
+#[test]
+fn cubic_and_bbr_complete_bulk_transfers_on_the_dumbbell() {
+    use mmptcp::transport::CongestionControl;
+    for cc in [CongestionControl::Cubic, CongestionControl::Bbr] {
+        let mut cfg = one_flow(
+            TopologySpec::Dumbbell(DumbbellConfig::default()),
+            Protocol::Tcp,
+            0,
+            2,
+            10_000_000,
+            1,
+        );
+        cfg.transport.cc = cc;
+        let r = mmptcp::run(cfg);
+        assert!(r.all_short_completed, "{} did not complete", cc.name());
+        let fct_ms = r.short_fct_summary().mean;
+        assert!(
+            fct_ms > 80.0 && fct_ms < 400.0,
+            "{}: 10 MB at 1 Gbps should take 80-400 ms, got {fct_ms} ms",
+            cc.name()
+        );
+        r.check_conservation()
+            .unwrap_or_else(|e| panic!("{}: {e}", cc.name()));
+    }
+}
+
 #[test]
 fn two_tcp_flows_share_the_bottleneck_roughly_fairly() {
     let cfg = ExperimentConfig {
